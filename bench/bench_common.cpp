@@ -1,0 +1,88 @@
+#include "bench/bench_common.h"
+
+#include <cstdio>
+#include <map>
+
+#include "common/strings.h"
+
+namespace aimetro::bench {
+
+const trace::SimulationTrace& smallville_day(std::uint64_t seed) {
+  static std::map<std::uint64_t, trace::SimulationTrace> cache;
+  auto it = cache.find(seed);
+  if (it == cache.end()) {
+    const auto map = world::GridMap::smallville(25);
+    trace::GeneratorConfig cfg;
+    cfg.n_agents = 25;
+    cfg.seed = seed;
+    it = cache.emplace(seed, trace::generate(map, cfg)).first;
+  }
+  return it->second;
+}
+
+trace::SimulationTrace large_ville(std::int32_t n_agents, std::uint64_t seed) {
+  trace::GeneratorConfig cfg;
+  cfg.n_agents = 25;
+  cfg.seed = seed;
+  return trace::generate_large_ville(n_agents / 25, cfg);
+}
+
+replay::ExperimentConfig l4_llama8b(std::int32_t gpus) {
+  replay::ExperimentConfig cfg;
+  cfg.model = llm::ModelSpec::llama3_8b();
+  cfg.gpu = llm::GpuSpec::l4();
+  cfg.parallelism = llm::ParallelismConfig{1, gpus};
+  return cfg;
+}
+
+replay::ExperimentConfig a100_llama70b(std::int32_t gpus) {
+  replay::ExperimentConfig cfg;
+  cfg.model = llm::ModelSpec::llama3_70b();
+  cfg.gpu = llm::GpuSpec::a100_80gb();
+  // TP4 per replica, hybrid data parallelism beyond four GPUs (§4.1).
+  cfg.parallelism = llm::ParallelismConfig{4, std::max(1, gpus / 4)};
+  return cfg;
+}
+
+replay::ExperimentConfig a100_mixtral(std::int32_t gpus) {
+  replay::ExperimentConfig cfg;
+  cfg.model = llm::ModelSpec::mixtral_8x7b();
+  cfg.gpu = llm::GpuSpec::a100_80gb();
+  // Mixtral fits in TP2, enabling higher data parallelism on the same
+  // eight-GPU platform (§4.3).
+  cfg.parallelism = llm::ParallelismConfig{2, std::max(1, gpus / 2)};
+  return cfg;
+}
+
+replay::ExperimentResult run_mode(const trace::SimulationTrace& trace,
+                                  replay::ExperimentConfig cfg,
+                                  replay::Mode mode) {
+  cfg.mode = mode;
+  return replay::run_experiment(trace, cfg);
+}
+
+double gpu_limit_seconds(const trace::SimulationTrace& trace,
+                         const replay::ExperimentConfig& cfg) {
+  const double critical =
+      run_mode(trace, cfg, replay::Mode::kCritical).completion_seconds;
+  const double nodep =
+      run_mode(trace, cfg, replay::Mode::kNoDependency).completion_seconds;
+  return std::max(critical, nodep);
+}
+
+void print_header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+void print_row(const std::vector<std::string>& cells,
+               const std::vector<int>& widths) {
+  std::string line;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const int w = i < widths.size() ? widths[i] : 12;
+    line += pad_left(cells[i], static_cast<std::size_t>(w));
+    line += "  ";
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+}  // namespace aimetro::bench

@@ -1,0 +1,54 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Each bench binary regenerates one table or figure from the paper's
+// evaluation (§4): it builds the workload (synthetic GenAgent traces,
+// §4.1 substitution), sweeps the paper's parameter grid, and prints the
+// same rows/series the paper reports, in TSV-friendly form.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/strings.h"
+#include "replay/experiment.h"
+#include "trace/generator.h"
+#include "world/grid_map.h"
+
+namespace aimetro::bench {
+
+/// Canonical trace windows (steps; 10 simulated seconds per step).
+inline constexpr Step kBusyBegin = 4320;   // 12:00
+inline constexpr Step kBusyEnd = 4680;     // 13:00
+inline constexpr Step kQuietBegin = 2160;  // 06:00
+inline constexpr Step kQuietEnd = 2520;    // 07:00
+
+/// Full-day 25-agent SmallVille trace (cached per seed).
+const trace::SimulationTrace& smallville_day(std::uint64_t seed = 42);
+
+/// Concatenated ville with `n_agents` (multiple of 25) agents.
+trace::SimulationTrace large_ville(std::int32_t n_agents,
+                                   std::uint64_t seed = 42);
+
+/// Platform presets from §4.1.
+replay::ExperimentConfig l4_llama8b(std::int32_t gpus);
+replay::ExperimentConfig a100_llama70b(std::int32_t gpus);   // TP4 (+DP)
+replay::ExperimentConfig a100_mixtral(std::int32_t gpus);    // TP2 (+DP)
+
+/// Run one mode on a platform config.
+replay::ExperimentResult run_mode(const trace::SimulationTrace& trace,
+                                  replay::ExperimentConfig cfg,
+                                  replay::Mode mode);
+
+/// gpu-limit (§4.3): the tighter of the two lower bounds — the critical
+/// path (dependency bound) and no-dependency (resource bound). The paper's
+/// text says "shorter"; both are lower bounds on completion time, so the
+/// max is the sound combined bound (see EXPERIMENTS.md).
+double gpu_limit_seconds(const trace::SimulationTrace& trace,
+                         const replay::ExperimentConfig& cfg);
+
+/// Table printing helpers.
+void print_header(const std::string& title);
+void print_row(const std::vector<std::string>& cells,
+               const std::vector<int>& widths);
+
+}  // namespace aimetro::bench

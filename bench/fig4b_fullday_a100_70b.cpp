@@ -1,0 +1,46 @@
+// Figure 4b: full-day 25-agent simulation with Llama-3-70B-Instruct on
+// NVIDIA A100-80GB GPUs — tensor parallelism 4, hybrid TP4xDP2 on eight.
+//
+// Paper reference points: 2.45x over single-thread and 1.45x over
+// parallel-sync, 82% of oracle on 8 GPUs; oracle-to-critical 64.7%.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace aimetro;
+
+int main() {
+  bench::print_header(
+      "Figure 4b — full day, 25 agents, Llama-3-70B on NVIDIA A100");
+  const auto& day = bench::smallville_day();
+  const std::vector<int> widths{6, 14, 14, 14, 14, 14};
+  bench::print_row({"gpus", "single-thread", "parallel-sync", "metropolis",
+                    "oracle", "critical"},
+                   widths);
+  const double single =
+      bench::run_mode(day, bench::a100_llama70b(4),
+                      replay::Mode::kSingleThread)
+          .completion_seconds;
+  for (int gpus : {4, 8}) {
+    const auto cfg = bench::a100_llama70b(gpus);
+    const auto sync = bench::run_mode(day, cfg, replay::Mode::kParallelSync);
+    const auto metro = bench::run_mode(day, cfg, replay::Mode::kMetropolis);
+    const auto oracle = bench::run_mode(day, cfg, replay::Mode::kOracle);
+    const auto critical = bench::run_mode(day, cfg, replay::Mode::kCritical);
+    bench::print_row(
+        {std::to_string(gpus), strformat("%.0fs", single),
+         strformat("%.0fs", sync.completion_seconds),
+         strformat("%.0fs", metro.completion_seconds),
+         strformat("%.0fs", oracle.completion_seconds),
+         strformat("%.0fs", critical.completion_seconds)},
+        widths);
+    std::printf(
+        "        metropolis speedup: %.2fx vs single-thread, %.2fx vs "
+        "parallel-sync | %.1f%% of oracle | oracle/critical=%.1f%%\n",
+        single / metro.completion_seconds,
+        sync.completion_seconds / metro.completion_seconds,
+        100.0 * oracle.completion_seconds / metro.completion_seconds,
+        100.0 * critical.completion_seconds / oracle.completion_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 6: busy- and quiet-hour benchmarks with Llama-3-70B on eight
+// NVIDIA A100 GPUs (TP4 x DP2), agents scaled 25 -> 1000.
+//
+// Paper reference points: metropolis peaks at 1.97x over parallel-sync at
+// 500 agents (busy) and 2.01x at 1000 agents (quiet).
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace aimetro;
+
+int main(int argc, char** argv) {
+  const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
+  const std::vector<int> agent_counts =
+      quick ? std::vector<int>{25, 100} : std::vector<int>{25, 100, 500, 1000};
+  const std::vector<int> widths{7, 14, 14, 14, 12};
+  for (const bool busy : {true, false}) {
+    bench::print_header(strformat(
+        "Figure 6 — %s hour, Llama-3-70B on 8x A100 (TP4 x DP2)",
+        busy ? "busy (12-1pm)" : "quiet (6-7am)"));
+    bench::print_row(
+        {"agents", "parallel-sync", "metropolis", "oracle", "gpu-limit"},
+        widths);
+    for (int agents : agent_counts) {
+      const auto ville = agents == 25 ? bench::smallville_day()
+                                      : bench::large_ville(agents);
+      const auto window =
+          busy ? trace::slice(ville, bench::kBusyBegin, bench::kBusyEnd)
+               : trace::slice(ville, bench::kQuietBegin, bench::kQuietEnd);
+      const auto cfg = bench::a100_llama70b(8);
+      const auto sync =
+          bench::run_mode(window, cfg, replay::Mode::kParallelSync);
+      const auto metro =
+          bench::run_mode(window, cfg, replay::Mode::kMetropolis);
+      const auto oracle = bench::run_mode(window, cfg, replay::Mode::kOracle);
+      const double limit = bench::gpu_limit_seconds(window, cfg);
+      bench::print_row({std::to_string(agents),
+                        strformat("%.0fs", sync.completion_seconds),
+                        strformat("%.0fs", metro.completion_seconds),
+                        strformat("%.0fs", oracle.completion_seconds),
+                        strformat("%.0fs", limit)},
+                       widths);
+      std::printf(
+          "        speedup vs sync: %.2fx | %.1f%% of oracle\n",
+          sync.completion_seconds / metro.completion_seconds,
+          100.0 * oracle.completion_seconds / metro.completion_seconds);
+    }
+  }
+  return 0;
+}

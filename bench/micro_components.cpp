@@ -1,0 +1,126 @@
+// Component micro-benchmarks (google-benchmark): the building blocks whose
+// cost the paper's §3.6 engineering keeps off the critical path.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/scoreboard.h"
+#include "des/event_loop.h"
+#include "kv/store.h"
+#include "llm/cost_model.h"
+#include "world/pathfinding.h"
+#include "world/spatial_index.h"
+
+namespace {
+
+using namespace aimetro;
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    des::EventLoop loop;
+    int sink = 0;
+    for (int i = 0; i < n; ++i) {
+      loop.schedule_at((i * 2654435761u) % 100000, [&sink] { ++sink; });
+    }
+    loop.run();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_EventLoopScheduleRun)->Arg(1000)->Arg(100000);
+
+void BM_KvIncr(benchmark::State& state) {
+  kv::Store store;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.incr_by("counter", 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KvIncr);
+
+void BM_KvTransaction(benchmark::State& state) {
+  kv::Store store;
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    kv::Transaction txn = store.transaction();
+    txn.watch("agent:1");
+    txn.hset("agent:1", "step", std::to_string(i++));
+    txn.rpush("log", "commit");
+    benchmark::DoNotOptimize(txn.exec());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_KvTransaction);
+
+void BM_SpatialIndexQuery(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  world::SpatialIndex index(8.0);
+  Rng rng(1);
+  for (int i = 0; i < n; ++i) {
+    index.insert(i, Pos{rng.uniform(0, 1000), rng.uniform(0, 100)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        index.query_box(Pos{rng.uniform(0, 1000), rng.uniform(0, 100)}, 16.0));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpatialIndexQuery)->Arg(100)->Arg(1000);
+
+void BM_ScoreboardCommitCycle(benchmark::State& state) {
+  // Full dispatch->commit cycles over a crowd of the given size: the cost
+  // of the dependency bookkeeping per agent-step.
+  const auto n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::vector<Pos> init;
+    for (int i = 0; i < n; ++i) {
+      init.push_back(Pos{rng.uniform(0, n * 4.0), rng.uniform(0, 100.0)});
+    }
+    core::Scoreboard sb(core::DependencyParams{4.0, 1.0},
+                        core::make_euclidean(), init, 10);
+    state.ResumeTiming();
+    std::uint64_t steps = 0;
+    while (!sb.all_done()) {
+      for (auto& cluster : sb.pop_ready_clusters()) {
+        std::vector<std::pair<AgentId, Pos>> moves;
+        for (AgentId m : cluster.members) {
+          Pos p = sb.pos_of(m);
+          p.x += rng.uniform(-1.0, 1.0) * 0.7;
+          moves.emplace_back(m, p);
+          ++steps;
+        }
+        sb.commit(moves);
+      }
+    }
+    benchmark::DoNotOptimize(steps);
+  }
+  state.SetItemsProcessed(state.iterations() * n * 10);
+}
+BENCHMARK(BM_ScoreboardCommitCycle)->Arg(25)->Arg(100)->Arg(500);
+
+void BM_AStarSmallville(benchmark::State& state) {
+  const auto map = world::GridMap::smallville(25);
+  const Tile start =
+      world::nearest_walkable(map, map.object("bed_0")->tile);
+  const Tile goal =
+      world::nearest_walkable(map, map.arena("bar")->rect.center());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world::find_path(map, start, goal));
+  }
+}
+BENCHMARK(BM_AStarSmallville);
+
+void BM_CostModelIteration(benchmark::State& state) {
+  const llm::CostModel cm(llm::ModelSpec::llama3_8b(), llm::GpuSpec::l4(), 1);
+  std::int64_t kv = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cm.iteration_time(32, 512, kv += 100));
+  }
+}
+BENCHMARK(BM_CostModelIteration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

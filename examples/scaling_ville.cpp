@@ -1,0 +1,41 @@
+// Scaling demo: concatenate SmallVilles into a large ville (the paper's
+// §4.3 construction), replay the busy hour under parallel-sync and
+// metropolis on a simulated 8x L4 cluster, and watch the OOO speedup grow
+// with the agent count.
+//
+//   build/examples/scaling_ville [max_segments=8]
+#include <cstdio>
+#include <cstdlib>
+
+#include "replay/experiment.h"
+#include "trace/generator.h"
+
+using namespace aimetro;
+
+int main(int argc, char** argv) {
+  const int max_segments = argc > 1 ? std::atoi(argv[1]) : 8;
+  std::printf("agents\tsync(s)\tmetro(s)\tspeedup\tmetro-parallelism\n");
+  for (int segments = 1; segments <= max_segments; segments *= 2) {
+    trace::GeneratorConfig gen;
+    gen.n_agents = 25;
+    gen.seed = 42;
+    const auto ville = trace::generate_large_ville(segments, gen);
+    const auto busy = trace::slice(ville, 4320, 4680);
+
+    replay::ExperimentConfig cfg;
+    cfg.model = llm::ModelSpec::llama3_8b();
+    cfg.gpu = llm::GpuSpec::l4();
+    cfg.parallelism = llm::ParallelismConfig{1, 8};
+
+    cfg.mode = replay::Mode::kParallelSync;
+    const auto sync = replay::run_experiment(busy, cfg);
+    cfg.mode = replay::Mode::kMetropolis;
+    const auto metro = replay::run_experiment(busy, cfg);
+
+    std::printf("%d\t%.0f\t%.0f\t%.2fx\t%.1f\n", segments * 25,
+                sync.completion_seconds, metro.completion_seconds,
+                sync.completion_seconds / metro.completion_seconds,
+                metro.avg_parallelism);
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// SmallVille day: generate the GenAgent-style workload (25 agents, one
+// simulated day on the 140x100 town), inspect its statistics, and replay
+// it under every scheduling setting on a simulated 4x L4 serving cluster —
+// the experiment of the paper's §4.2 in one executable.
+//
+//   build/examples/smallville_day [trace-out.bin]
+#include <cstdio>
+#include <string>
+
+#include "replay/experiment.h"
+#include "trace/generator.h"
+#include "trace/serialize.h"
+#include "trace/stats.h"
+#include "world/grid_map.h"
+
+using namespace aimetro;
+
+int main(int argc, char** argv) {
+  std::printf("== Generating one SmallVille day (25 agents) ==\n");
+  const auto map = world::GridMap::smallville(25);
+  trace::GeneratorConfig gen;
+  gen.n_agents = 25;
+  gen.seed = 42;
+  const auto day = trace::generate(map, gen);
+  const auto stats = trace::compute_stats(day);
+  std::printf("%s\n", stats.to_string().c_str());
+
+  if (argc > 1) {
+    trace::save_binary_file(day, argv[1]);
+    std::printf("trace written to %s\n\n", argv[1]);
+  }
+
+  std::printf("== Replaying the busy hour (12-1pm) on 4x L4, Llama-3-8B ==\n");
+  const auto busy = trace::slice(day, 4320, 4680);
+  double sync_time = 0.0;
+  for (replay::Mode mode :
+       {replay::Mode::kSingleThread, replay::Mode::kParallelSync,
+        replay::Mode::kMetropolis, replay::Mode::kOracle,
+        replay::Mode::kNoDependency, replay::Mode::kCritical}) {
+    replay::ExperimentConfig cfg;
+    cfg.mode = mode;
+    cfg.model = llm::ModelSpec::llama3_8b();
+    cfg.gpu = llm::GpuSpec::l4();
+    cfg.parallelism = llm::ParallelismConfig{1, 4};
+    const auto result = replay::run_experiment(busy, cfg);
+    std::printf("%s", result.summary().c_str());
+    if (mode == replay::Mode::kParallelSync) {
+      sync_time = result.completion_seconds;
+    } else if (mode == replay::Mode::kMetropolis) {
+      std::printf("  <- %.2fx over parallel-sync",
+                  sync_time / result.completion_seconds);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nThe OOO engine wins exactly because most lock-step dependencies "
+      "are false: distant agents never needed to wait for each other.\n");
+  return 0;
+}

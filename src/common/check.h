@@ -1,0 +1,57 @@
+// Lightweight precondition / invariant checking used across the library.
+//
+// AIM_CHECK is always on (benchmarks included): scheduling-correctness bugs
+// must never be silently ignored, and the checks are cheap relative to the
+// simulated work. AIM_DCHECK compiles out in NDEBUG builds and is meant for
+// hot inner loops.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace aimetro {
+
+/// Error thrown when a checked precondition or invariant fails.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace internal {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+
+}  // namespace internal
+}  // namespace aimetro
+
+#define AIM_CHECK(expr)                                                  \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::aimetro::internal::check_failed(#expr, __FILE__, __LINE__, ""); \
+    }                                                                    \
+  } while (false)
+
+#define AIM_CHECK_MSG(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream aim_check_os_;                                   \
+      aim_check_os_ << msg;                                               \
+      ::aimetro::internal::check_failed(#expr, __FILE__, __LINE__,        \
+                                        aim_check_os_.str());             \
+    }                                                                     \
+  } while (false)
+
+#ifdef NDEBUG
+#define AIM_DCHECK(expr) \
+  do {                   \
+  } while (false)
+#else
+#define AIM_DCHECK(expr) AIM_CHECK(expr)
+#endif

@@ -1,0 +1,42 @@
+// Minimal leveled logging. Off by default above WARN so benchmarks stay
+// quiet; tests and examples can raise verbosity.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace aimetro {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace internal {
+void log_message(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace internal
+
+}  // namespace aimetro
+
+#define AIM_LOG(level)                                            \
+  if (static_cast<int>(::aimetro::LogLevel::level) <              \
+      static_cast<int>(::aimetro::log_level())) {                 \
+  } else                                                          \
+    ::aimetro::internal::LogLine(::aimetro::LogLevel::level)

@@ -1,0 +1,130 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace aimetro {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::merge(const RunningStat& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n = static_cast<double>(n_ + other.n_);
+  m2_ += other.m2_ + delta * delta * static_cast<double>(n_) *
+                         static_cast<double>(other.n_) / n;
+  mean_ = (mean_ * static_cast<double>(n_) +
+           other.mean_ * static_cast<double>(other.n_)) /
+          n;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  sum_ += other.sum_;
+  n_ += other.n_;
+}
+
+double PercentileTracker::percentile(double q) const {
+  AIM_CHECK(!samples_.empty());
+  AIM_CHECK(q >= 0.0 && q <= 1.0);
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double rank = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const auto hi = std::min(lo + 1, samples_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples_[lo] * (1.0 - frac) + samples_[hi] * frac;
+}
+
+double PercentileTracker::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+void TimeWeightedStat::set(SimTime t, double value) {
+  if (!started_) {
+    started_ = true;
+    first_ = last_ = t;
+    value_ = value;
+    return;
+  }
+  AIM_CHECK_MSG(t >= last_, "TimeWeightedStat: time went backwards");
+  weighted_sum_ += value_ * static_cast<double>(t - last_);
+  last_ = t;
+  value_ = value;
+}
+
+double TimeWeightedStat::average_until(SimTime t_end) const {
+  AIM_CHECK(started_);
+  AIM_CHECK(t_end >= last_);
+  const double total = weighted_sum_ + value_ * static_cast<double>(t_end - last_);
+  const double span = static_cast<double>(t_end - first_);
+  return span > 0.0 ? total / span : value_;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0) {
+  AIM_CHECK(hi > lo);
+  AIM_CHECK(bins > 0);
+}
+
+void Histogram::add(double x, double weight) {
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+    return;
+  }
+  if (x >= hi_) {
+    overflow_ += weight;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / (hi_ - lo_) *
+                                            static_cast<double>(counts_.size()));
+  counts_[std::min(idx, counts_.size() - 1)] += weight;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+std::string Histogram::to_string(int width) const {
+  double peak = 1e-12;
+  for (double c : counts_) peak = std::max(peak, c);
+  std::ostringstream os;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const int bar = static_cast<int>(counts_[i] / peak * width);
+    os << bucket_lo(i) << "\t" << counts_[i] << "\t" << std::string(bar, '#')
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace aimetro

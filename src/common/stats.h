@@ -1,0 +1,99 @@
+// Streaming statistics used by the serving-engine metrics and the
+// benchmark harnesses (means, percentiles, histograms, time-weighted
+// averages such as "average number of outstanding LLM requests").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace aimetro {
+
+/// Welford streaming mean/variance plus min/max.
+class RunningStat {
+ public:
+  void add(double x);
+  std::int64_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return sum_; }
+
+  void merge(const RunningStat& other);
+
+ private:
+  std::int64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Collects samples and answers percentile queries (exact; sorts on demand).
+class PercentileTracker {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  std::size_t count() const { return samples_.size(); }
+  /// q in [0,1]; linear interpolation between closest ranks.
+  double percentile(double q) const;
+  double mean() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Time-weighted average of a piecewise-constant signal, e.g. the number of
+/// outstanding LLM requests over virtual time. This is the metric the paper
+/// calls "achieved parallelism" (§4.2).
+class TimeWeightedStat {
+ public:
+  /// Record that the signal changed to `value` at time `t`. Times must be
+  /// non-decreasing.
+  void set(SimTime t, double value);
+  /// Average over [first_set_time, t_end]; requires at least one set().
+  double average_until(SimTime t_end) const;
+  double current() const { return value_; }
+  SimTime first_time() const { return first_; }
+
+ private:
+  bool started_ = false;
+  SimTime first_ = 0;
+  SimTime last_ = 0;
+  double value_ = 0.0;
+  double weighted_sum_ = 0.0;  // integral of value dt, microsecond units
+};
+
+/// Fixed-bucket histogram over [lo, hi) with `bins` buckets plus overflow
+/// buckets on both ends.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+  void add(double x, double weight = 1.0);
+  double bucket_count(std::size_t i) const { return counts_.at(i); }
+  std::size_t bins() const { return counts_.size(); }
+  double underflow() const { return underflow_; }
+  double overflow() const { return overflow_; }
+  double total() const { return total_; }
+  /// Lower edge of bucket i.
+  double bucket_lo(std::size_t i) const;
+  std::string to_string(int width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+  double total_ = 0.0;
+};
+
+}  // namespace aimetro

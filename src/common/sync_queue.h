@@ -1,0 +1,125 @@
+// Thread-safe queues used by the real (threaded) runtime: a blocking
+// priority queue for ready/ack cluster traffic (Algorithm 3 keeps both as
+// priority queues ordered by step) and a plain blocking FIFO.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <queue>
+#include <vector>
+
+namespace aimetro {
+
+/// Blocking min-priority queue. Smaller Priority values pop first; FIFO
+/// within equal priority (stable via sequence numbers).
+template <typename T, typename Priority = int>
+class SyncPriorityQueue {
+ public:
+  void push(Priority priority, T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      heap_.push(Entry{priority, seq_++, std::move(value)});
+    }
+    cv_.notify_one();
+  }
+
+  /// Blocks until an element is available or close() is called.
+  /// Returns nullopt only after close() with an empty queue.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !heap_.empty() || closed_; });
+    if (heap_.empty()) return std::nullopt;
+    T out = std::move(const_cast<Entry&>(heap_.top()).value);
+    heap_.pop();
+    return out;
+  }
+
+  /// Non-blocking pop.
+  std::optional<T> try_pop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (heap_.empty()) return std::nullopt;
+    T out = std::move(const_cast<Entry&>(heap_.top()).value);
+    heap_.pop();
+    return out;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return heap_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  /// Wake all waiters; subsequent pops drain the queue then return nullopt.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  struct Entry {
+    Priority priority;
+    std::uint64_t seq;
+    T value;
+    bool operator>(const Entry& other) const {
+      if (priority != other.priority) return priority > other.priority;
+      return seq > other.seq;
+    }
+  };
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t seq_ = 0;
+  bool closed_ = false;
+};
+
+/// Simple blocking FIFO queue.
+template <typename T>
+class SyncQueue {
+ public:
+  void push(T value) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push(std::move(value));
+    }
+    cv_.notify_one();
+  }
+
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    T out = std::move(queue_.front());
+    queue_.pop();
+    return out;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::queue<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace aimetro

@@ -1,0 +1,85 @@
+// Fundamental value types shared by every module.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <limits>
+
+namespace aimetro {
+
+/// Identifier of an agent within a simulation. Dense, starting at 0.
+using AgentId = std::int32_t;
+
+/// Simulation step index. One step corresponds to a fixed amount of
+/// simulated wall time (10 simulated seconds in GenAgent / SmallVille).
+using Step = std::int32_t;
+
+/// Virtual time in the discrete-event executive, in microseconds.
+/// Integer microseconds keep event ordering bit-exact across platforms.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kSimTimeMax = std::numeric_limits<SimTime>::max();
+
+/// Convert seconds (double) to SimTime microseconds, rounding to nearest.
+constexpr SimTime sim_time_from_seconds(double seconds) {
+  return static_cast<SimTime>(seconds * 1e6 + (seconds >= 0 ? 0.5 : -0.5));
+}
+
+/// Convert SimTime microseconds to seconds.
+constexpr double sim_time_to_seconds(SimTime t) {
+  return static_cast<double>(t) * 1e-6;
+}
+
+/// A position in the simulated world. Grid worlds use integral coordinates;
+/// the dependency rules operate on real-valued distances so the same code
+/// serves continuous spaces.
+struct Pos {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Pos&, const Pos&) = default;
+};
+
+inline double euclidean(const Pos& a, const Pos& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+inline double manhattan(const Pos& a, const Pos& b) {
+  return std::abs(a.x - b.x) + std::abs(a.y - b.y);
+}
+
+inline double chebyshev(const Pos& a, const Pos& b) {
+  return std::max(std::abs(a.x - b.x), std::abs(a.y - b.y));
+}
+
+/// Integer tile coordinate used by the grid world.
+struct Tile {
+  std::int32_t x = 0;
+  std::int32_t y = 0;
+
+  friend bool operator==(const Tile&, const Tile&) = default;
+  friend auto operator<=>(const Tile&, const Tile&) = default;
+
+  Pos center() const {
+    return Pos{static_cast<double>(x), static_cast<double>(y)};
+  }
+};
+
+struct TileHash {
+  std::size_t operator()(const Tile& t) const noexcept {
+    // 2D -> 1D mix; maps are at most a few thousand tiles wide.
+    auto ux = static_cast<std::uint64_t>(static_cast<std::uint32_t>(t.x));
+    auto uy = static_cast<std::uint64_t>(static_cast<std::uint32_t>(t.y));
+    std::uint64_t v = (ux << 32) | uy;
+    v ^= v >> 33;
+    v *= 0xff51afd7ed558ccdULL;
+    v ^= v >> 33;
+    return static_cast<std::size_t>(v);
+  }
+};
+
+}  // namespace aimetro

@@ -1,0 +1,27 @@
+#include "core/dependency_rules.h"
+
+#include <cmath>
+
+namespace aimetro::core {
+
+bool coupled(double dist, Step step_a, Step step_b,
+             const DependencyParams& params) {
+  return step_a == step_b && dist <= params.coupling_radius();
+}
+
+bool blocks(double dist, Step step_a, Step step_b, bool b_running,
+            const DependencyParams& params) {
+  if (step_b > step_a) return false;  // future agents never block the past
+  if (step_b == step_a && !b_running) return false;  // coupled instead
+  return dist <= params.blocking_radius(step_a - step_b);
+}
+
+bool state_valid(double dist, Step step_a, Step step_b,
+                 const DependencyParams& params) {
+  if (step_a == step_b) return true;
+  const Step gap = step_a > step_b ? step_a - step_b : step_b - step_a;
+  return dist > params.radius_p +
+                    static_cast<double>(gap - 1) * params.max_vel;
+}
+
+}  // namespace aimetro::core

@@ -1,0 +1,51 @@
+// The paper's conservative dependency rules (§3.2, Appendix A).
+//
+// State: every agent has a position and the step it is about to execute
+// (equivalently: it has committed all steps below it). A valid state
+// satisfies, for all agent pairs with different steps,
+//
+//     dist(A, B) > radius_p + (|StepA - StepB| - 1) * max_vel
+//
+// i.e. an agent never perceives another agent that exists at a different
+// time. The rules below are the sufficient conditions AI Metropolis
+// enforces online:
+//   * coupled  — same step and dist <= radius_p + max_vel: must advance
+//     together (same cluster);
+//   * blocked  — B at an earlier step (or currently executing the same
+//     step) with dist <= (StepA - StepB + 1) * max_vel + radius_p: A must
+//     wait until B commits;
+//   * agents at strictly later steps never block earlier agents.
+#pragma once
+
+#include "common/types.h"
+
+namespace aimetro::core {
+
+struct DependencyParams {
+  double radius_p = 4.0;  // perception radius (GenAgent: 4 grid units)
+  double max_vel = 1.0;   // max movement / information propagation per step
+
+  double coupling_radius() const { return radius_p + max_vel; }
+  /// Radius within which a blocker lagging `lag` steps behind restrains an
+  /// agent (lag >= 0).
+  double blocking_radius(Step lag) const {
+    return static_cast<double>(lag + 1) * max_vel + radius_p;
+  }
+};
+
+/// Same-step agents close enough that they must proceed together.
+bool coupled(double dist, Step step_a, Step step_b,
+             const DependencyParams& params);
+
+/// Does B (at `step_b`, executing iff `b_running`) block A (at `step_a`,
+/// about to start)? Same-step idle agents are coupled, not blocking; a
+/// same-step *running* agent blocks (A missed that cluster and must wait
+/// for the commit).
+bool blocks(double dist, Step step_a, Step step_b, bool b_running,
+            const DependencyParams& params);
+
+/// The Appendix A validity condition for a pair of committed states.
+bool state_valid(double dist, Step step_a, Step step_b,
+                 const DependencyParams& params);
+
+}  // namespace aimetro::core

@@ -1,0 +1,49 @@
+#include "core/metric.h"
+
+#include <queue>
+
+#include "common/check.h"
+
+namespace aimetro::core {
+
+GraphMetric::GraphMetric(
+    const std::vector<std::vector<std::int32_t>>& adjacency)
+    : n_(static_cast<std::int32_t>(adjacency.size())) {
+  AIM_CHECK(n_ > 0);
+  dist_.assign(static_cast<std::size_t>(n_),
+               std::vector<double>(static_cast<std::size_t>(n_),
+                                   kDisconnected));
+  // All-pairs BFS; graphs here are small (hundreds of nodes).
+  for (std::int32_t src = 0; src < n_; ++src) {
+    auto& row = dist_[static_cast<std::size_t>(src)];
+    row[static_cast<std::size_t>(src)] = 0.0;
+    std::queue<std::int32_t> q;
+    q.push(src);
+    while (!q.empty()) {
+      const std::int32_t u = q.front();
+      q.pop();
+      for (std::int32_t v : adjacency[static_cast<std::size_t>(u)]) {
+        AIM_CHECK(v >= 0 && v < n_);
+        if (row[static_cast<std::size_t>(v)] >= kDisconnected) {
+          row[static_cast<std::size_t>(v)] =
+              row[static_cast<std::size_t>(u)] + 1.0;
+          q.push(v);
+        }
+      }
+    }
+  }
+}
+
+double GraphMetric::distance(const Pos& a, const Pos& b) const {
+  const auto ia = static_cast<std::int32_t>(a.x);
+  const auto ib = static_cast<std::int32_t>(b.x);
+  AIM_CHECK(ia >= 0 && ia < n_ && ib >= 0 && ib < n_);
+  return dist_[static_cast<std::size_t>(ia)][static_cast<std::size_t>(ib)];
+}
+
+std::shared_ptr<const Metric> make_euclidean() {
+  static const auto instance = std::make_shared<EuclideanMetric>();
+  return instance;
+}
+
+}  // namespace aimetro::core

@@ -1,0 +1,72 @@
+// Distance metrics for the dependency rules.
+//
+// The paper derives its rules for Euclidean space but notes they "can
+// extend to non-Euclidean spaces, such as social networks" (§6): the only
+// property the derivation needs is the triangle-style bound
+// dist(A', B) >= dist(A, B) - max_vel when A moves at most max_vel per
+// step. Any metric with that property plugs in here; GraphMetric models a
+// social-network world where distance is hop count and "movement" is
+// changing one's neighborhood by a bounded amount per step.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace aimetro::core {
+
+class Metric {
+ public:
+  virtual ~Metric() = default;
+  virtual double distance(const Pos& a, const Pos& b) const = 0;
+  virtual std::string name() const = 0;
+};
+
+class EuclideanMetric final : public Metric {
+ public:
+  double distance(const Pos& a, const Pos& b) const override {
+    return euclidean(a, b);
+  }
+  std::string name() const override { return "euclidean"; }
+};
+
+class ManhattanMetric final : public Metric {
+ public:
+  double distance(const Pos& a, const Pos& b) const override {
+    return manhattan(a, b);
+  }
+  std::string name() const override { return "manhattan"; }
+};
+
+class ChebyshevMetric final : public Metric {
+ public:
+  double distance(const Pos& a, const Pos& b) const override {
+    return chebyshev(a, b);
+  }
+  std::string name() const override { return "chebyshev"; }
+};
+
+/// Hop-count metric over a fixed undirected graph (e.g. a social network).
+/// Positions encode node ids in `Pos::x` (y ignored). Distances between
+/// disconnected nodes are a large finite value so every pair is comparable.
+class GraphMetric final : public Metric {
+ public:
+  /// `adjacency[i]` lists the neighbors of node i.
+  explicit GraphMetric(const std::vector<std::vector<std::int32_t>>& adjacency);
+
+  double distance(const Pos& a, const Pos& b) const override;
+  std::string name() const override { return "graph"; }
+
+  std::int32_t node_count() const { return n_; }
+  static constexpr double kDisconnected = 1e9;
+
+ private:
+  std::int32_t n_;
+  std::vector<std::vector<double>> dist_;  // all-pairs BFS hop counts
+};
+
+std::shared_ptr<const Metric> make_euclidean();
+
+}  // namespace aimetro::core

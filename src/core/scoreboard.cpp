@@ -1,0 +1,370 @@
+#include "core/scoreboard.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace aimetro::core {
+
+Scoreboard::Scoreboard(DependencyParams params,
+                       std::shared_ptr<const Metric> metric,
+                       std::vector<Pos> initial_positions, Step target_step)
+    : params_(params), metric_(std::move(metric)), target_step_(target_step) {
+  AIM_CHECK(metric_ != nullptr);
+  AIM_CHECK(target_step_ >= 0);
+  AIM_CHECK(!initial_positions.empty());
+  agents_.resize(initial_positions.size());
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    agents_[i].pos = initial_positions[i];
+    if (target_step_ == 0) {
+      agents_[i].status = AgentStatus::kDone;
+      ++done_count_;
+    }
+  }
+  if (target_step_ == 0) return;
+  // Initial edges and clustering: everyone idle at step 0, so there are no
+  // blockers (no lower step, nobody running); only coupling applies.
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    idle_by_step_[0].insert(static_cast<AgentId>(i));
+  }
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    if (agents_[i].cluster >= 0) continue;
+    const std::int64_t cid = new_cluster(0);
+    // Flood-fill the coupled component.
+    std::vector<AgentId> frontier{static_cast<AgentId>(i)};
+    agents_[i].cluster = cid;
+    while (!frontier.empty()) {
+      const AgentId u = frontier.back();
+      frontier.pop_back();
+      clusters_[cid].members.push_back(u);
+      for (std::size_t j = 0; j < agents_.size(); ++j) {
+        const auto v = static_cast<AgentId>(j);
+        if (agents_[j].cluster >= 0) continue;
+        if (coupled(metric_->distance(agent(u).pos, agents_[j].pos), 0, 0,
+                    params_)) {
+          agents_[j].cluster = cid;
+          frontier.push_back(v);
+        }
+      }
+    }
+    std::sort(clusters_[cid].members.begin(), clusters_[cid].members.end());
+    dirty_clusters_.insert(cid);
+  }
+}
+
+Scoreboard::AgentNode& Scoreboard::agent(AgentId id) {
+  AIM_CHECK(id >= 0 && static_cast<std::size_t>(id) < agents_.size());
+  return agents_[static_cast<std::size_t>(id)];
+}
+
+const Scoreboard::AgentNode& Scoreboard::agent(AgentId id) const {
+  AIM_CHECK(id >= 0 && static_cast<std::size_t>(id) < agents_.size());
+  return agents_[static_cast<std::size_t>(id)];
+}
+
+std::int64_t Scoreboard::new_cluster(Step step) {
+  const std::int64_t cid = next_cluster_id_++;
+  clusters_[cid].step = step;
+  return cid;
+}
+
+void Scoreboard::on_blocked_count_change(AgentId id, bool now_blocked) {
+  AgentNode& node = agent(id);
+  if (node.cluster < 0) return;
+  auto it = clusters_.find(node.cluster);
+  AIM_CHECK(it != clusters_.end());
+  it->second.blocked_members += now_blocked ? 1 : -1;
+  AIM_CHECK(it->second.blocked_members >= 0);
+  dirty_clusters_.insert(node.cluster);
+}
+
+void Scoreboard::add_edge(AgentId blocker, AgentId blocked) {
+  AgentNode& a = agent(blocked);
+  const bool was_blocked = !a.blocked_by.empty();
+  if (!a.blocked_by.insert(blocker).second) return;
+  agent(blocker).blocks.insert(blocked);
+  ++stats_.edges_added;
+  if (!was_blocked) on_blocked_count_change(blocked, true);
+}
+
+void Scoreboard::remove_edge(AgentId blocker, AgentId blocked) {
+  AgentNode& a = agent(blocked);
+  if (a.blocked_by.erase(blocker) == 0) return;
+  agent(blocker).blocks.erase(blocked);
+  ++stats_.edges_removed;
+  if (a.blocked_by.empty()) on_blocked_count_change(blocked, false);
+}
+
+void Scoreboard::recompute_blockers(AgentId id) {
+  AgentNode& node = agent(id);
+  // Drop all existing incoming edges, then rebuild from a full scan. The
+  // scan is O(n) with cheap per-pair math; commits are the only writers so
+  // total work stays modest even at 1000 agents (see DESIGN.md).
+  const std::vector<AgentId> previous(node.blocked_by.begin(),
+                                      node.blocked_by.end());
+  for (AgentId b : previous) remove_edge(b, id);
+
+  if (node.status == AgentStatus::kDone) return;
+  std::uint64_t found = 0;
+  for (std::size_t j = 0; j < agents_.size(); ++j) {
+    const auto b = static_cast<AgentId>(j);
+    if (b == id) continue;
+    const AgentNode& other = agents_[j];
+    if (other.status == AgentStatus::kDone) continue;
+    const double dist = metric_->distance(node.pos, other.pos);
+    if (blocks(dist, node.step, other.step,
+               other.status == AgentStatus::kRunning, params_)) {
+      add_edge(b, id);
+      ++found;
+    }
+  }
+  ++blocker_samples_;
+  blocker_total_ += found;
+}
+
+void Scoreboard::refresh_outgoing(AgentId id) {
+  AgentNode& node = agent(id);
+  const std::vector<AgentId> watchers(node.blocks.begin(), node.blocks.end());
+  for (AgentId w : watchers) {
+    const AgentNode& watcher = agent(w);
+    const double dist = metric_->distance(watcher.pos, node.pos);
+    if (!blocks(dist, watcher.step, node.step,
+                node.status == AgentStatus::kRunning, params_)) {
+      remove_edge(id, w);
+    }
+  }
+}
+
+void Scoreboard::cluster_in(AgentId id) {
+  AgentNode& node = agent(id);
+  AIM_CHECK(node.status == AgentStatus::kIdle && node.cluster < 0);
+  idle_by_step_[node.step].insert(id);
+
+  // Find idle same-step agents within the coupling radius; `id` may bridge
+  // several existing clusters into one.
+  std::set<std::int64_t> neighbors_clusters;
+  auto it = idle_by_step_.find(node.step);
+  for (AgentId other : it->second) {
+    if (other == id) continue;
+    const AgentNode& o = agent(other);
+    if (coupled(metric_->distance(node.pos, o.pos), node.step, o.step,
+                params_)) {
+      AIM_CHECK(o.cluster >= 0);
+      neighbors_clusters.insert(o.cluster);
+    }
+  }
+
+  std::int64_t home;
+  if (neighbors_clusters.empty()) {
+    home = new_cluster(node.step);
+  } else {
+    // Merge everything into the first cluster.
+    home = *neighbors_clusters.begin();
+    for (auto cit = std::next(neighbors_clusters.begin());
+         cit != neighbors_clusters.end(); ++cit) {
+      ClusterRec& victim = clusters_.at(*cit);
+      ClusterRec& target = clusters_.at(home);
+      for (AgentId m : victim.members) {
+        agent(m).cluster = home;
+        target.members.push_back(m);
+      }
+      target.blocked_members += victim.blocked_members;
+      clusters_.erase(*cit);
+      dirty_clusters_.erase(*cit);
+    }
+  }
+  ClusterRec& rec = clusters_.at(home);
+  node.cluster = home;
+  rec.members.push_back(id);
+  std::sort(rec.members.begin(), rec.members.end());
+  if (!node.blocked_by.empty()) ++rec.blocked_members;
+  dirty_clusters_.insert(home);
+}
+
+std::vector<AgentCluster> Scoreboard::pop_ready_clusters() {
+  std::vector<AgentCluster> ready;
+  for (auto it = dirty_clusters_.begin(); it != dirty_clusters_.end();) {
+    const std::int64_t cid = *it;
+    auto cit = clusters_.find(cid);
+    if (cit == clusters_.end()) {
+      it = dirty_clusters_.erase(it);
+      continue;
+    }
+    ClusterRec& rec = cit->second;
+    if (rec.blocked_members > 0) {
+      // Stays idle; keep it clean until an edge change re-dirties it.
+      it = dirty_clusters_.erase(it);
+      continue;
+    }
+    // Dispatch: mark members running, drop from idle structures.
+    AgentCluster out;
+    out.step = rec.step;
+    out.members = rec.members;
+    for (AgentId m : out.members) {
+      AgentNode& node = agent(m);
+      AIM_CHECK(node.status == AgentStatus::kIdle);
+      node.status = AgentStatus::kRunning;
+      node.cluster = -1;
+      idle_by_step_[rec.step].erase(m);
+      ++running_count_;
+    }
+    if (idle_by_step_[rec.step].empty()) idle_by_step_.erase(rec.step);
+    clusters_.erase(cit);
+    it = dirty_clusters_.erase(it);
+    ++stats_.clusters_dispatched;
+    stats_.sum_cluster_sizes += static_cast<double>(out.members.size());
+    stats_.max_concurrent_running =
+        std::max<std::uint64_t>(stats_.max_concurrent_running, running_count_);
+    ready.push_back(std::move(out));
+  }
+  std::sort(ready.begin(), ready.end(),
+            [](const AgentCluster& a, const AgentCluster& b) {
+              if (a.step != b.step) return a.step < b.step;
+              return a.members.front() < b.members.front();
+            });
+  return ready;
+}
+
+void Scoreboard::commit(const std::vector<std::pair<AgentId, Pos>>& moves) {
+  AIM_CHECK(!moves.empty());
+  ++stats_.commits;
+  // Phase 1: advance state.
+  for (const auto& [id, pos] : moves) {
+    AgentNode& node = agent(id);
+    AIM_CHECK_MSG(node.status == AgentStatus::kRunning,
+                  "commit of non-running agent " << id);
+    AIM_CHECK_MSG(
+        metric_->distance(node.pos, pos) <= params_.max_vel + 1e-9,
+        "agent " << id << " moved faster than max_vel");
+    node.pos = pos;
+    node.step += 1;
+    AIM_CHECK(node.step <= target_step_);
+    --running_count_;
+    if (node.step == target_step_) {
+      node.status = AgentStatus::kDone;
+      ++done_count_;
+    } else {
+      node.status = AgentStatus::kIdle;
+    }
+  }
+  // Phase 2: re-examine relationships. Outgoing edges of committed agents
+  // can only shrink (they advanced / are no longer running); incoming edges
+  // must be rebuilt because their step and position changed.
+  for (const auto& [id, pos] : moves) {
+    (void)pos;
+    refresh_outgoing(id);
+    recompute_blockers(id);
+  }
+  // Phase 3: idle clustering for members still in flight toward target.
+  for (const auto& [id, pos] : moves) {
+    (void)pos;
+    AgentNode& node = agent(id);
+    if (node.status == AgentStatus::kIdle) cluster_in(id);
+    if (node.status == AgentStatus::kDone) {
+      // A done agent blocks nobody and is blocked by nobody.
+      const std::vector<AgentId> watchers(node.blocks.begin(),
+                                          node.blocks.end());
+      for (AgentId w : watchers) remove_edge(id, w);
+      AIM_CHECK(node.blocked_by.empty());
+    }
+  }
+}
+
+std::vector<AgentId> Scoreboard::blockers_of(AgentId id) const {
+  const AgentNode& node = agent(id);
+  return {node.blocked_by.begin(), node.blocked_by.end()};
+}
+
+std::vector<AgentId> Scoreboard::cluster_of(AgentId id) const {
+  const AgentNode& node = agent(id);
+  if (node.cluster < 0) return {};
+  return clusters_.at(node.cluster).members;
+}
+
+Step Scoreboard::min_step() const {
+  Step m = target_step_;
+  for (const AgentNode& a : agents_) m = std::min(m, a.step);
+  return m;
+}
+
+double Scoreboard::mean_blockers() const {
+  return blocker_samples_
+             ? static_cast<double>(blocker_total_) /
+                   static_cast<double>(blocker_samples_)
+             : 0.0;
+}
+
+void Scoreboard::check_invariants() const {
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    for (std::size_t j = i + 1; j < agents_.size(); ++j) {
+      const AgentNode& a = agents_[i];
+      const AgentNode& b = agents_[j];
+      const double dist = metric_->distance(a.pos, b.pos);
+      AIM_CHECK_MSG(
+          state_valid(dist, a.step, b.step, params_),
+          "temporal causality violated between agents "
+              << i << "@" << a.step << " and " << j << "@" << b.step
+              << " at distance " << dist);
+    }
+  }
+  // Edge symmetry and cluster bookkeeping.
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    const auto id = static_cast<AgentId>(i);
+    const AgentNode& node = agents_[i];
+    for (AgentId b : node.blocked_by) {
+      AIM_CHECK(agent(b).blocks.count(id) == 1);
+    }
+    for (AgentId w : node.blocks) {
+      AIM_CHECK(agent(w).blocked_by.count(id) == 1);
+    }
+    if (node.status == AgentStatus::kIdle) {
+      AIM_CHECK(node.cluster >= 0);
+      const ClusterRec& rec = clusters_.at(node.cluster);
+      AIM_CHECK(std::find(rec.members.begin(), rec.members.end(), id) !=
+                rec.members.end());
+      AIM_CHECK(rec.step == node.step);
+    }
+  }
+  for (const auto& [cid, rec] : clusters_) {
+    (void)cid;
+    std::int32_t blocked = 0;
+    for (AgentId m : rec.members) {
+      AIM_CHECK(agent(m).status == AgentStatus::kIdle);
+      if (!agent(m).blocked_by.empty()) ++blocked;
+    }
+    AIM_CHECK_MSG(blocked == rec.blocked_members,
+                  "cluster blocked-count drift: " << blocked << " vs "
+                                                  << rec.blocked_members);
+  }
+}
+
+std::string Scoreboard::to_dot() const {
+  std::ostringstream os;
+  os << "digraph scoreboard {\n  rankdir=LR;\n";
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    const AgentNode& a = agents_[i];
+    const char* color = a.status == AgentStatus::kRunning ? "green"
+                        : a.blocked_by.empty()            ? "white"
+                                                          : "orange";
+    os << "  a" << i << " [label=\"" << static_cast<char>('A' + (i % 26))
+       << "@" << a.step << "\", style=filled, fillcolor=" << color << "];\n";
+  }
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    for (AgentId w : agents_[i].blocks) {
+      os << "  a" << i << " -> a" << w << ";\n";
+    }
+  }
+  // Coupled relationships (same cluster) rendered as double arrows.
+  for (const auto& [cid, rec] : clusters_) {
+    (void)cid;
+    for (std::size_t k = 0; k + 1 < rec.members.size(); ++k) {
+      os << "  a" << rec.members[k] << " -> a" << rec.members[k + 1]
+         << " [dir=both, color=blue];\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace aimetro::core

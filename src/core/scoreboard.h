@@ -1,0 +1,153 @@
+// The spatiotemporal dependency scoreboard (§3.3) plus geo-clustering
+// (§3.4): the data structure at the heart of AI Metropolis.
+//
+// Each agent is a node carrying (step, position, status). Directed edges
+// record "B currently blocks A"; idle agents at the same step within the
+// coupling radius are merged into clusters (the minimal synchronized
+// units). The engine drives it with exactly two operations:
+//
+//   pop_ready_clusters()  — controller: take every cluster whose members
+//                           are all unblocked, marking them running;
+//   commit(moves)         — worker: a dispatched cluster finished its step;
+//                           members advance one step to their new positions,
+//                           relationships are re-examined, and any agents
+//                           this unblocks become available to the next
+//                           pop_ready_clusters().
+//
+// Progress guarantee: agents at the globally smallest step can only be
+// blocked by running same-step agents, so some cluster is always
+// dispatchable until every agent reaches `target_step`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.h"
+#include "core/dependency_rules.h"
+#include "core/metric.h"
+
+namespace aimetro::core {
+
+/// A group of coupled agents at the same step, dispatched as one unit.
+struct AgentCluster {
+  Step step = 0;
+  std::vector<AgentId> members;  // sorted
+};
+
+enum class AgentStatus : std::uint8_t { kIdle, kRunning, kDone };
+
+struct ScoreboardStats {
+  std::uint64_t clusters_dispatched = 0;
+  std::uint64_t commits = 0;
+  std::uint64_t edges_added = 0;
+  std::uint64_t edges_removed = 0;
+  std::uint64_t max_concurrent_running = 0;
+  double sum_cluster_sizes = 0.0;
+  double mean_cluster_size() const {
+    return clusters_dispatched
+               ? sum_cluster_sizes / static_cast<double>(clusters_dispatched)
+               : 0.0;
+  }
+};
+
+class Scoreboard {
+ public:
+  /// Agents start idle at step 0 at `initial_positions`; the simulation
+  /// finishes when every agent has committed `target_step` steps.
+  Scoreboard(DependencyParams params, std::shared_ptr<const Metric> metric,
+             std::vector<Pos> initial_positions, Step target_step);
+
+  // ---- Controller side ----
+  /// All clusters that are ready right now (every member idle and
+  /// unblocked). Members are marked running; the caller must eventually
+  /// commit() each returned cluster. Ordered by (step, first member).
+  std::vector<AgentCluster> pop_ready_clusters();
+
+  // ---- Worker side ----
+  /// Commit one dispatched cluster: each member's position after the step.
+  /// Members advance to step+1 (or Done at target_step).
+  void commit(const std::vector<std::pair<AgentId, Pos>>& moves);
+
+  // ---- Introspection ----
+  std::size_t agent_count() const { return agents_.size(); }
+  Step target_step() const { return target_step_; }
+  bool all_done() const { return done_count_ == agents_.size(); }
+  Step step_of(AgentId id) const { return agent(id).step; }
+  Pos pos_of(AgentId id) const { return agent(id).pos; }
+  AgentStatus status_of(AgentId id) const { return agent(id).status; }
+  bool is_blocked(AgentId id) const { return !agent(id).blocked_by.empty(); }
+  /// Current blockers of `id`, sorted.
+  std::vector<AgentId> blockers_of(AgentId id) const;
+  /// Members of the idle cluster containing `id` (empty if not idle).
+  std::vector<AgentId> cluster_of(AgentId id) const;
+  Step min_step() const;
+  const ScoreboardStats& stats() const { return stats_; }
+
+  /// Mean number of blockers per blocked-check, a sparsity measure
+  /// comparable to the paper's "each agent depends on only 1.85 agents".
+  double mean_blockers() const;
+
+  /// Throws CheckError if the Appendix A validity condition is violated
+  /// for any agent pair, or if internal edge/cluster bookkeeping is
+  /// inconsistent. O(n^2); meant for tests.
+  void check_invariants() const;
+
+  /// Graphviz dot rendering of the current graph (Figure 3 style).
+  std::string to_dot() const;
+
+ private:
+  struct AgentNode {
+    Step step = 0;
+    Pos pos;
+    AgentStatus status = AgentStatus::kIdle;
+    std::set<AgentId> blocked_by;  // B in blocked_by => B blocks this agent
+    std::set<AgentId> blocks;      // reverse edges
+    std::int64_t cluster = -1;     // idle cluster id, -1 when not idle
+  };
+
+  struct ClusterRec {
+    Step step = 0;
+    std::vector<AgentId> members;
+    std::int32_t blocked_members = 0;  // members with nonempty blocked_by
+  };
+
+  AgentNode& agent(AgentId id);
+  const AgentNode& agent(AgentId id) const;
+
+  void add_edge(AgentId blocker, AgentId blocked);
+  void remove_edge(AgentId blocker, AgentId blocked);
+  /// Recompute blocked_by for `id` from scratch (brute-force scan).
+  void recompute_blockers(AgentId id);
+  /// Re-check the agents `id` currently blocks; drop stale edges.
+  void refresh_outgoing(AgentId id);
+  void on_blocked_count_change(AgentId id, bool now_blocked);
+  /// Place a newly idle agent into the idle clustering (may merge several
+  /// existing clusters).
+  void cluster_in(AgentId id);
+  std::int64_t new_cluster(Step step);
+
+  DependencyParams params_;
+  std::shared_ptr<const Metric> metric_;
+  Step target_step_;
+  std::vector<AgentNode> agents_;
+  std::map<std::int64_t, ClusterRec> clusters_;
+  /// Clusters touched since the last pop (candidates for readiness).
+  std::set<std::int64_t> dirty_clusters_;
+  /// Idle agents bucketed by step (coupling candidates).
+  std::map<Step, std::set<AgentId>> idle_by_step_;
+  std::int64_t next_cluster_id_ = 0;
+  std::size_t done_count_ = 0;
+  std::size_t running_count_ = 0;
+  ScoreboardStats stats_;
+  // mean_blockers bookkeeping
+  std::uint64_t blocker_samples_ = 0;
+  std::uint64_t blocker_total_ = 0;
+};
+
+}  // namespace aimetro::core

@@ -1,0 +1,64 @@
+#include "des/event_loop.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace aimetro::des {
+
+EventId EventLoop::schedule_at(SimTime t, Callback cb) {
+  AIM_CHECK_MSG(t >= now_, "schedule_at: t=" << t << " < now=" << now_);
+  AIM_CHECK(cb != nullptr);
+  const EventId id = next_id_++;
+  heap_.push(Event{t, id, std::move(cb)});
+  live_.insert(id);
+  return id;
+}
+
+EventId EventLoop::schedule_after(SimTime delay, Callback cb) {
+  AIM_CHECK_MSG(delay >= 0, "schedule_after: negative delay " << delay);
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool EventLoop::cancel(EventId id) {
+  // An event is cancellable iff it is still pending; erase marks it so the
+  // heap entry is skipped when popped (lazy deletion).
+  return live_.erase(id) > 0;
+}
+
+bool EventLoop::pop_and_run() {
+  while (!heap_.empty()) {
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    auto it = live_.find(ev.id);
+    if (it == live_.end()) continue;  // cancelled
+    live_.erase(it);
+    AIM_CHECK(ev.time >= now_);
+    now_ = ev.time;
+    ++processed_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t EventLoop::run() {
+  stopped_ = false;
+  std::uint64_t count = 0;
+  while (!stopped_ && !live_.empty()) {
+    if (pop_and_run()) ++count;
+  }
+  return count;
+}
+
+std::uint64_t EventLoop::run_until(SimTime deadline) {
+  stopped_ = false;
+  std::uint64_t count = 0;
+  while (!stopped_ && !heap_.empty() && heap_.top().time <= deadline) {
+    if (pop_and_run()) ++count;
+  }
+  if (now_ < deadline && !stopped_) now_ = deadline;
+  return count;
+}
+
+}  // namespace aimetro::des

@@ -1,0 +1,85 @@
+#include "gym/agents.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/strings.h"
+
+namespace aimetro::gym {
+
+std::string observation_prompt(const Observation& obs) {
+  std::string prompt = strformat(
+      "You are agent %d at (%d,%d) on step %d. Nearby:", obs.self,
+      obs.position.x, obs.position.y, obs.step);
+  for (const auto& [id, tile] : obs.nearby_agents) {
+    prompt += strformat(" agent%d@(%d,%d)", id, tile.x, tile.y);
+  }
+  for (const auto& ev : obs.recent_events) {
+    prompt += strformat(" event[%d:%s]", ev.source, ev.text.c_str());
+  }
+  prompt += " What do you do next?";
+  return prompt;
+}
+
+world::StepIntent WandererAgent::proceed(const Observation& obs,
+                                         llm::LlmClient& llm) {
+  llm::CompletionRequest request;
+  request.prompt = observation_prompt(obs);
+  request.priority = obs.step;
+  const llm::CompletionResult result = llm.complete(request);
+
+  // Hash the "decision" text into a concrete action.
+  std::uint64_t h = personality_;
+  for (unsigned char c : result.text) h = splitmix64(h ^ c);
+
+  world::StepIntent intent;
+  intent.agent = obs.self;
+  auto neighbors = obs.map->neighbors(obs.position);
+  std::sort(neighbors.begin(), neighbors.end());
+  if (!neighbors.empty() && (h % 4) != 0) {  // 75%: move
+    intent.move_to = neighbors[h % neighbors.size()];
+  }
+  if (!obs.nearby_agents.empty() && (h >> 8) % 3 == 0) {  // greet sometimes
+    intent.emit_event = strformat("greeting from %d to %d", obs.self,
+                                  obs.nearby_agents.front().first);
+    ++greetings_;
+  }
+  // Claim an adjacent object occasionally.
+  if ((h >> 16) % 5 == 0) {
+    for (const auto& object : obs.map->objects()) {
+      if (chebyshev(object.tile.center(), obs.position.center()) <= 1.5) {
+        intent.claim_object = object.name;
+        break;
+      }
+    }
+  }
+  return intent;
+}
+
+world::StepIntent PatrolAgent::proceed(const Observation& obs,
+                                       llm::LlmClient& llm) {
+  (void)llm;
+  const Tile target = toward_b_ ? b_ : a_;
+  if (obs.position == target) {
+    toward_b_ = !toward_b_;
+  }
+  const Tile goal = toward_b_ ? b_ : a_;
+  world::StepIntent intent;
+  intent.agent = obs.self;
+  Tile next = obs.position;
+  if (goal.x > next.x) {
+    next.x += 1;
+  } else if (goal.x < next.x) {
+    next.x -= 1;
+  } else if (goal.y > next.y) {
+    next.y += 1;
+  } else if (goal.y < next.y) {
+    next.y -= 1;
+  }
+  if (!(next == obs.position) && obs.map->walkable(next)) {
+    intent.move_to = next;
+  }
+  return intent;
+}
+
+}  // namespace aimetro::gym

@@ -1,0 +1,47 @@
+// Reference Agent implementations used by tests and examples.
+#pragma once
+
+#include <string>
+
+#include "gym/env.h"
+
+namespace aimetro::gym {
+
+/// A deterministic LLM-driven wanderer: asks the LLM what to do given a
+/// textual rendering of its observation, hashes the response into a
+/// movement choice, greets nearby agents with events, and claims adjacent
+/// objects. Behaviour depends on what it perceives — including other
+/// agents and their events — so any temporal-causality violation in the
+/// scheduler changes the final world hash.
+class WandererAgent : public Agent {
+ public:
+  explicit WandererAgent(std::uint64_t personality_seed)
+      : personality_(personality_seed) {}
+
+  world::StepIntent proceed(const Observation& obs,
+                            llm::LlmClient& llm) override;
+
+  std::uint64_t greetings_sent() const { return greetings_; }
+
+ private:
+  std::uint64_t personality_;
+  std::uint64_t greetings_ = 0;
+};
+
+/// An agent that walks a fixed patrol loop between two corners and never
+/// calls the LLM — handy for pinning down scheduler behaviour in tests.
+class PatrolAgent : public Agent {
+ public:
+  PatrolAgent(Tile a, Tile b) : a_(a), b_(b) {}
+  world::StepIntent proceed(const Observation& obs,
+                            llm::LlmClient& llm) override;
+
+ private:
+  Tile a_, b_;
+  bool toward_b_ = true;
+};
+
+/// Renders an observation into a prompt string (stable across runs).
+std::string observation_prompt(const Observation& obs);
+
+}  // namespace aimetro::gym

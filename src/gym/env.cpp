@@ -1,0 +1,114 @@
+#include "gym/env.h"
+
+#include <future>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace aimetro::gym {
+
+Env::Env(const world::GridMap* map, std::vector<Tile> starts,
+         std::vector<std::unique_ptr<Agent>> agents, llm::LlmClient* llm,
+         EnvConfig config)
+    : map_(map),
+      world_(map, std::move(starts)),
+      agents_(std::move(agents)),
+      llm_(llm),
+      config_(config) {
+  AIM_CHECK(map_ != nullptr && llm_ != nullptr);
+  AIM_CHECK(world_.agent_count() == agents_.size());
+  AIM_CHECK(!agents_.empty());
+}
+
+Observation Env::observe(AgentId id, Step step,
+                         const world::WorldState& world) const {
+  Observation obs;
+  obs.self = id;
+  obs.step = step;
+  obs.position = world.tile_of(id);
+  obs.map = map_;
+  const Pos center = obs.position.center();
+  for (AgentId other : world.agents_within(center, config_.params.radius_p)) {
+    if (other == id) continue;
+    obs.nearby_agents.emplace_back(other, world.tile_of(other));
+  }
+  if (step > 0) {
+    obs.recent_events =
+        world.events_near(center, config_.params.radius_p, step - 1, step - 1);
+  }
+  return obs;
+}
+
+std::vector<world::StepIntent> Env::compute_intents(
+    const core::AgentCluster& cluster, const world::WorldState& world) {
+  // Snapshot observations under the shared world lock; the heavy agent
+  // processing (LLM calls) then runs lock-free.
+  std::vector<Observation> observations;
+  observations.reserve(cluster.members.size());
+  {
+    std::shared_lock<std::shared_mutex> lock(world.mutex());
+    for (AgentId m : cluster.members) {
+      observations.push_back(observe(m, cluster.step, world));
+    }
+  }
+  std::vector<world::StepIntent> intents(cluster.members.size());
+  if (cluster.members.size() == 1) {
+    intents[0] = agents_[static_cast<std::size_t>(cluster.members[0])]->proceed(
+        observations[0], *llm_);
+    intents[0].agent = cluster.members[0];
+    return intents;
+  }
+  // Coupled agents run concurrently, each in its own thread (§3.6 uses
+  // threads for agents within a worker).
+  std::vector<std::future<world::StepIntent>> futures;
+  futures.reserve(cluster.members.size());
+  for (std::size_t i = 0; i < cluster.members.size(); ++i) {
+    futures.push_back(std::async(
+        std::launch::async,
+        [this, &observations, &cluster, i] {
+          world::StepIntent intent =
+              agents_[static_cast<std::size_t>(cluster.members[i])]->proceed(
+                  observations[i], *llm_);
+          intent.agent = cluster.members[i];
+          return intent;
+        }));
+  }
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    intents[i] = futures[i].get();
+  }
+  return intents;
+}
+
+runtime::EngineStats Env::run() {
+  if (config_.out_of_order) {
+    runtime::EngineConfig ec;
+    ec.params = config_.params;
+    ec.target_step = config_.target_step;
+    ec.n_workers = config_.n_workers;
+    ec.kv_instrumentation = config_.kv_instrumentation;
+    runtime::Engine engine(
+        &world_, ec,
+        [this](const core::AgentCluster& cluster,
+               const world::WorldState& world) {
+          return compute_intents(cluster, world);
+        });
+    return engine.run();
+  }
+  // Lock-step baseline (Algorithm 1): one all-agents "cluster" per step.
+  runtime::EngineStats stats;
+  core::AgentCluster all;
+  all.members.resize(agents_.size());
+  std::iota(all.members.begin(), all.members.end(), 0);
+  for (Step s = 0; s < config_.target_step; ++s) {
+    all.step = s;
+    auto intents = compute_intents(all, world_);
+    std::unique_lock<std::shared_mutex> lock(world_.mutex());
+    world_.resolve_conflict_and_commit(s, intents);
+    lock.unlock();
+    ++stats.clusters_executed;
+    stats.agent_steps += agents_.size();
+  }
+  return stats;
+}
+
+}  // namespace aimetro::gym

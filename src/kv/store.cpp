@@ -1,0 +1,506 @@
+#include "kv/store.h"
+
+#include <algorithm>
+#include <charconv>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace aimetro::kv {
+
+namespace {
+
+std::int64_t parse_int(const std::string& s) {
+  std::int64_t out = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  AIM_CHECK_MSG(ec == std::errc{} && ptr == s.data() + s.size(),
+                "value is not an integer: '" << s << "'");
+  return out;
+}
+
+std::uint64_t hash_string(const std::string& s) {
+  // FNV-1a 64.
+  std::uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+Store::Store(std::size_t shard_count) {
+  AIM_CHECK(shard_count > 0);
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+Store::Shard& Store::shard_for(const std::string& key) {
+  return *shards_[hash_string(key) % shards_.size()];
+}
+
+const Store::Shard& Store::shard_for(const std::string& key) const {
+  return *shards_[hash_string(key) % shards_.size()];
+}
+
+Store::Entry* Store::find_unlocked(Shard& shard, const std::string& key) {
+  auto it = shard.map.find(key);
+  return it == shard.map.end() ? nullptr : &it->second;
+}
+
+Store::Entry& Store::upsert_unlocked(Shard& shard, const std::string& key,
+                                     Type type) {
+  Entry& e = shard.map[key];
+  if (e.value.type == Type::kNone) e.value.type = type;
+  AIM_CHECK_MSG(e.value.type == type,
+                "WRONGTYPE operation on key '" << key << "'");
+  ++e.version;
+  return e;
+}
+
+// ---- Strings ----
+
+void Store::set_unlocked(const std::string& key, std::string value) {
+  Shard& shard = shard_for(key);
+  Entry& e = shard.map[key];
+  // SET overwrites regardless of previous type, like Redis.
+  ++e.version;
+  e.value = Value{};
+  e.value.type = Type::kString;
+  e.value.str = std::move(value);
+}
+
+void Store::set(const std::string& key, std::string value) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  set_unlocked(key, std::move(value));
+}
+
+std::optional<std::string> Store::get(const std::string& key) const {
+  const Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end() || it->second.value.type != Type::kString) {
+    return std::nullopt;
+  }
+  return it->second.value.str;
+}
+
+std::int64_t Store::incr_by_unlocked(const std::string& key,
+                                     std::int64_t delta) {
+  Shard& shard = shard_for(key);
+  Entry& e = upsert_unlocked(shard, key, Type::kString);
+  const std::int64_t cur = e.value.str.empty() ? 0 : parse_int(e.value.str);
+  const std::int64_t next = cur + delta;
+  e.value.str = std::to_string(next);
+  return next;
+}
+
+std::int64_t Store::incr_by(const std::string& key, std::int64_t delta) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return incr_by_unlocked(key, delta);
+}
+
+// ---- Hashes ----
+
+bool Store::hset_unlocked(const std::string& key, const std::string& field,
+                          std::string value) {
+  Shard& shard = shard_for(key);
+  Entry& e = upsert_unlocked(shard, key, Type::kHash);
+  auto [it, inserted] = e.value.hash.insert_or_assign(field, std::move(value));
+  (void)it;
+  return inserted;
+}
+
+bool Store::hset(const std::string& key, const std::string& field,
+                 std::string value) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return hset_unlocked(key, field, std::move(value));
+}
+
+std::optional<std::string> Store::hget(const std::string& key,
+                                       const std::string& field) const {
+  const Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end() || it->second.value.type != Type::kHash) {
+    return std::nullopt;
+  }
+  auto fit = it->second.value.hash.find(field);
+  if (fit == it->second.value.hash.end()) return std::nullopt;
+  return fit->second;
+}
+
+bool Store::hdel_unlocked(const std::string& key, const std::string& field) {
+  Shard& shard = shard_for(key);
+  Entry* e = find_unlocked(shard, key);
+  if (!e || e->value.type != Type::kHash) return false;
+  const bool erased = e->value.hash.erase(field) > 0;
+  if (erased) ++e->version;
+  return erased;
+}
+
+bool Store::hdel(const std::string& key, const std::string& field) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return hdel_unlocked(key, field);
+}
+
+std::vector<std::pair<std::string, std::string>> Store::hgetall(
+    const std::string& key) const {
+  const Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  std::vector<std::pair<std::string, std::string>> out;
+  auto it = shard.map.find(key);
+  if (it == shard.map.end() || it->second.value.type != Type::kHash) return out;
+  out.assign(it->second.value.hash.begin(), it->second.value.hash.end());
+  return out;
+}
+
+std::size_t Store::hlen(const std::string& key) const {
+  const Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end() || it->second.value.type != Type::kHash) return 0;
+  return it->second.value.hash.size();
+}
+
+// ---- Sorted sets ----
+
+bool Store::zadd_unlocked(const std::string& key, const std::string& member,
+                          double score) {
+  Shard& shard = shard_for(key);
+  Entry& e = upsert_unlocked(shard, key, Type::kZSet);
+  auto it = e.value.zscores.find(member);
+  if (it != e.value.zscores.end()) {
+    e.value.zordered.erase({it->second, member});
+    it->second = score;
+    e.value.zordered.insert({score, member});
+    return false;
+  }
+  e.value.zscores.emplace(member, score);
+  e.value.zordered.insert({score, member});
+  return true;
+}
+
+bool Store::zadd(const std::string& key, const std::string& member,
+                 double score) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return zadd_unlocked(key, member, score);
+}
+
+bool Store::zrem_unlocked(const std::string& key, const std::string& member) {
+  Shard& shard = shard_for(key);
+  Entry* e = find_unlocked(shard, key);
+  if (!e || e->value.type != Type::kZSet) return false;
+  auto it = e->value.zscores.find(member);
+  if (it == e->value.zscores.end()) return false;
+  e->value.zordered.erase({it->second, member});
+  e->value.zscores.erase(it);
+  ++e->version;
+  return true;
+}
+
+bool Store::zrem(const std::string& key, const std::string& member) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return zrem_unlocked(key, member);
+}
+
+std::optional<double> Store::zscore(const std::string& key,
+                                    const std::string& member) const {
+  const Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end() || it->second.value.type != Type::kZSet) {
+    return std::nullopt;
+  }
+  auto mit = it->second.value.zscores.find(member);
+  if (mit == it->second.value.zscores.end()) return std::nullopt;
+  return mit->second;
+}
+
+std::vector<std::pair<std::string, double>> Store::zrange_by_score(
+    const std::string& key, double min_score, double max_score) const {
+  const Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  std::vector<std::pair<std::string, double>> out;
+  auto it = shard.map.find(key);
+  if (it == shard.map.end() || it->second.value.type != Type::kZSet) return out;
+  const auto& z = it->second.value.zordered;
+  for (auto zit = z.lower_bound({min_score, std::string{}});
+       zit != z.end() && zit->first <= max_score; ++zit) {
+    out.emplace_back(zit->second, zit->first);
+  }
+  return out;
+}
+
+std::optional<std::pair<std::string, double>> Store::zpop_min(
+    const std::string& key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  Entry* e = find_unlocked(shard, key);
+  if (!e || e->value.type != Type::kZSet || e->value.zordered.empty()) {
+    return std::nullopt;
+  }
+  auto first = *e->value.zordered.begin();
+  e->value.zordered.erase(e->value.zordered.begin());
+  e->value.zscores.erase(first.second);
+  ++e->version;
+  return std::make_pair(first.second, first.first);
+}
+
+std::size_t Store::zcard(const std::string& key) const {
+  const Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end() || it->second.value.type != Type::kZSet) return 0;
+  return it->second.value.zscores.size();
+}
+
+// ---- Lists ----
+
+void Store::rpush_unlocked(const std::string& key, std::string value) {
+  Shard& shard = shard_for(key);
+  Entry& e = upsert_unlocked(shard, key, Type::kList);
+  e.value.list.push_back(std::move(value));
+}
+
+void Store::rpush(const std::string& key, std::string value) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  rpush_unlocked(key, std::move(value));
+}
+
+std::optional<std::string> Store::lpop_unlocked(const std::string& key) {
+  Shard& shard = shard_for(key);
+  Entry* e = find_unlocked(shard, key);
+  if (!e || e->value.type != Type::kList || e->value.list.empty()) {
+    return std::nullopt;
+  }
+  std::string out = std::move(e->value.list.front());
+  e->value.list.erase(e->value.list.begin());
+  ++e->version;
+  return out;
+}
+
+std::optional<std::string> Store::lpop(const std::string& key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return lpop_unlocked(key);
+}
+
+std::vector<std::string> Store::lrange(const std::string& key,
+                                       std::int64_t start,
+                                       std::int64_t stop) const {
+  const Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  std::vector<std::string> out;
+  auto it = shard.map.find(key);
+  if (it == shard.map.end() || it->second.value.type != Type::kList) return out;
+  const auto& list = it->second.value.list;
+  const auto n = static_cast<std::int64_t>(list.size());
+  if (start < 0) start = std::max<std::int64_t>(0, n + start);
+  if (stop < 0) stop = n + stop;
+  stop = std::min(stop, n - 1);
+  for (std::int64_t i = start; i <= stop; ++i) {
+    out.push_back(list[static_cast<std::size_t>(i)]);
+  }
+  return out;
+}
+
+std::size_t Store::llen(const std::string& key) const {
+  const Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  if (it == shard.map.end() || it->second.value.type != Type::kList) return 0;
+  return it->second.value.list.size();
+}
+
+// ---- Keyspace ----
+
+bool Store::del_unlocked(const std::string& key) {
+  Shard& shard = shard_for(key);
+  return shard.map.erase(key) > 0;
+}
+
+bool Store::del(const std::string& key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return del_unlocked(key);
+}
+
+bool Store::exists(const std::string& key) const {
+  const Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.map.count(key) > 0;
+}
+
+Type Store::type(const std::string& key) const {
+  const Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  return it == shard.map.end() ? Type::kNone : it->second.value.type;
+}
+
+std::uint64_t Store::version(const std::string& key) const {
+  const Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.map.find(key);
+  return it == shard.map.end() ? 0 : it->second.version;
+}
+
+std::size_t Store::key_count() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    n += shard->map.size();
+  }
+  return n;
+}
+
+std::vector<std::string> Store::keys_with_prefix(
+    const std::string& prefix) const {
+  std::vector<std::string> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [key, entry] : shard->map) {
+      (void)entry;
+      if (key.rfind(prefix, 0) == 0) out.push_back(key);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Store::clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->map.clear();
+  }
+}
+
+std::uint64_t Store::fingerprint() const {
+  // XOR of per-key digests: order-independent, so shard iteration order does
+  // not matter. Versions are intentionally excluded (content equality only).
+  std::uint64_t fp = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [key, entry] : shard->map) {
+      std::uint64_t h = hash_string(key) * 0x9e3779b97f4a7c15ULL;
+      h ^= splitmix64(static_cast<std::uint64_t>(entry.value.type));
+      switch (entry.value.type) {
+        case Type::kString:
+          h ^= hash_string(entry.value.str);
+          break;
+        case Type::kHash:
+          for (const auto& [f, v] : entry.value.hash) {
+            h ^= splitmix64(hash_string(f) ^ hash_string(v));
+          }
+          break;
+        case Type::kZSet:
+          for (const auto& [m, s] : entry.value.zscores) {
+            std::uint64_t bits = 0;
+            static_assert(sizeof(bits) == sizeof(s));
+            __builtin_memcpy(&bits, &s, sizeof(bits));
+            h ^= splitmix64(hash_string(m) ^ bits);
+          }
+          break;
+        case Type::kList: {
+          std::uint64_t lh = 0;
+          for (const auto& v : entry.value.list) {
+            lh = splitmix64(lh ^ hash_string(v));
+          }
+          h ^= lh;
+          break;
+        }
+        case Type::kNone:
+          break;
+      }
+      fp ^= splitmix64(h);
+    }
+  }
+  return fp;
+}
+
+Transaction Store::transaction() { return Transaction(*this); }
+
+// ---- Transaction ----
+
+void Transaction::watch(const std::string& key) {
+  watches_.emplace_back(key, store_.version(key));
+}
+
+void Transaction::set(std::string key, std::string value) {
+  commands_.push_back([key = std::move(key), value = std::move(value)](
+                          Store& s) mutable { s.set_unlocked(key, std::move(value)); });
+}
+
+void Transaction::incr_by(std::string key, std::int64_t delta) {
+  commands_.push_back(
+      [key = std::move(key), delta](Store& s) { s.incr_by_unlocked(key, delta); });
+}
+
+void Transaction::hset(std::string key, std::string field, std::string value) {
+  commands_.push_back([key = std::move(key), field = std::move(field),
+                       value = std::move(value)](Store& s) mutable {
+    s.hset_unlocked(key, field, std::move(value));
+  });
+}
+
+void Transaction::hdel(std::string key, std::string field) {
+  commands_.push_back([key = std::move(key), field = std::move(field)](
+                          Store& s) { s.hdel_unlocked(key, field); });
+}
+
+void Transaction::zadd(std::string key, std::string member, double score) {
+  commands_.push_back([key = std::move(key), member = std::move(member),
+                       score](Store& s) { s.zadd_unlocked(key, member, score); });
+}
+
+void Transaction::zrem(std::string key, std::string member) {
+  commands_.push_back([key = std::move(key), member = std::move(member)](
+                          Store& s) { s.zrem_unlocked(key, member); });
+}
+
+void Transaction::rpush(std::string key, std::string value) {
+  commands_.push_back([key = std::move(key), value = std::move(value)](
+                          Store& s) mutable { s.rpush_unlocked(key, std::move(value)); });
+}
+
+void Transaction::del(std::string key) {
+  commands_.push_back(
+      [key = std::move(key)](Store& s) { s.del_unlocked(key); });
+}
+
+TxnResult Transaction::exec() {
+  // Lock every shard in index order (consistent order -> deadlock-free).
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(store_.shards_.size());
+  for (auto& shard : store_.shards_) {
+    locks.emplace_back(shard->mutex);
+  }
+  // Validate watched versions under the global lock.
+  for (const auto& [key, version] : watches_) {
+    auto& shard = store_.shard_for(key);
+    auto it = shard.map.find(key);
+    const std::uint64_t current = it == shard.map.end() ? 0 : it->second.version;
+    if (current != version) {
+      watches_.clear();
+      commands_.clear();
+      return TxnResult::kConflict;
+    }
+  }
+  for (auto& cmd : commands_) cmd(store_);
+  watches_.clear();
+  commands_.clear();
+  return TxnResult::kCommitted;
+}
+
+}  // namespace aimetro::kv

@@ -1,0 +1,179 @@
+// In-memory transactional key-value store.
+//
+// The paper's runtime keeps all shared state — the spatiotemporal dependency
+// graph, simulation states, and instrumentation — in Redis so that
+// inter-process synchronization is handled "through an in-memory database"
+// (§3.6). This module is that substrate: a thread-safe store with the Redis
+// data types the engine uses (strings, hashes, sorted sets, lists) and
+// WATCH/MULTI/EXEC optimistic transactions, so the threaded runtime mirrors
+// the paper's architecture without an external server.
+//
+// Concurrency model: keys hash to shards, each guarded by its own mutex.
+// Every mutation bumps a per-key version; transactions validate watched
+// versions under all-shard locks (acquired in index order, so no deadlock)
+// and apply their queued commands atomically.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace aimetro::kv {
+
+enum class Type { kNone, kString, kHash, kZSet, kList };
+
+/// Result of Transaction::exec().
+enum class TxnResult { kCommitted, kConflict };
+
+class Transaction;
+
+class Store {
+ public:
+  explicit Store(std::size_t shard_count = 16);
+
+  // ---- Strings ----
+  void set(const std::string& key, std::string value);
+  std::optional<std::string> get(const std::string& key) const;
+  /// Atomically add `delta` to an integer-valued key (missing key counts as
+  /// 0). Throws CheckError if the value is not an integer.
+  std::int64_t incr_by(const std::string& key, std::int64_t delta);
+
+  // ---- Hashes ----
+  /// Returns true if the field is new.
+  bool hset(const std::string& key, const std::string& field,
+            std::string value);
+  std::optional<std::string> hget(const std::string& key,
+                                  const std::string& field) const;
+  bool hdel(const std::string& key, const std::string& field);
+  /// Sorted by field for deterministic iteration.
+  std::vector<std::pair<std::string, std::string>> hgetall(
+      const std::string& key) const;
+  std::size_t hlen(const std::string& key) const;
+
+  // ---- Sorted sets ----
+  /// Returns true if the member is new.
+  bool zadd(const std::string& key, const std::string& member, double score);
+  bool zrem(const std::string& key, const std::string& member);
+  std::optional<double> zscore(const std::string& key,
+                               const std::string& member) const;
+  /// Members with score in [min_score, max_score], ordered by (score, member).
+  std::vector<std::pair<std::string, double>> zrange_by_score(
+      const std::string& key, double min_score, double max_score) const;
+  /// Pop the (score, member)-smallest entry.
+  std::optional<std::pair<std::string, double>> zpop_min(
+      const std::string& key);
+  std::size_t zcard(const std::string& key) const;
+
+  // ---- Lists ----
+  void rpush(const std::string& key, std::string value);
+  std::optional<std::string> lpop(const std::string& key);
+  /// Elements in [start, stop] with negative indices counting from the end,
+  /// like Redis LRANGE.
+  std::vector<std::string> lrange(const std::string& key, std::int64_t start,
+                                  std::int64_t stop) const;
+  std::size_t llen(const std::string& key) const;
+
+  // ---- Keyspace ----
+  bool del(const std::string& key);
+  bool exists(const std::string& key) const;
+  Type type(const std::string& key) const;
+  /// Monotonic per-key version; 0 if the key was never written.
+  std::uint64_t version(const std::string& key) const;
+  std::size_t key_count() const;
+  /// All keys with the given prefix, sorted (snapshot; O(n) scan).
+  std::vector<std::string> keys_with_prefix(const std::string& prefix) const;
+  void clear();
+
+  /// Order-independent 64-bit digest of the full store contents. Two stores
+  /// hold identical data iff (with overwhelming probability) fingerprints
+  /// match. Used by determinism tests.
+  std::uint64_t fingerprint() const;
+
+  Transaction transaction();
+
+ private:
+  friend class Transaction;
+
+  struct Value {
+    Type type = Type::kNone;
+    std::string str;
+    std::map<std::string, std::string> hash;
+    std::map<std::string, double> zscores;                  // member -> score
+    std::set<std::pair<double, std::string>> zordered;       // (score, member)
+    std::vector<std::string> list;
+  };
+
+  struct Entry {
+    Value value;
+    std::uint64_t version = 0;
+  };
+
+  struct Shard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::string, Entry> map;
+  };
+
+  Shard& shard_for(const std::string& key);
+  const Shard& shard_for(const std::string& key) const;
+
+  // Unlocked primitives shared by the public API and transaction commit.
+  Entry* find_unlocked(Shard& shard, const std::string& key);
+  Entry& upsert_unlocked(Shard& shard, const std::string& key, Type type);
+  void set_unlocked(const std::string& key, std::string value);
+  std::int64_t incr_by_unlocked(const std::string& key, std::int64_t delta);
+  bool hset_unlocked(const std::string& key, const std::string& field,
+                     std::string value);
+  bool hdel_unlocked(const std::string& key, const std::string& field);
+  bool zadd_unlocked(const std::string& key, const std::string& member,
+                     double score);
+  bool zrem_unlocked(const std::string& key, const std::string& member);
+  void rpush_unlocked(const std::string& key, std::string value);
+  std::optional<std::string> lpop_unlocked(const std::string& key);
+  bool del_unlocked(const std::string& key);
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Optimistic transaction: WATCH keys, queue commands, EXEC atomically.
+/// EXEC fails (kConflict) iff any watched key's version changed since
+/// watch() read it. Commands are closures over Store's unlocked primitives
+/// and run with every shard locked. Like Redis MULTI, queued commands do not
+/// observe each other's effects until commit.
+class Transaction {
+ public:
+  explicit Transaction(Store& store) : store_(store) {}
+
+  /// Snapshot the current version of `key`; exec() validates it.
+  void watch(const std::string& key);
+
+  // Queued mutations (subset mirroring Store's API).
+  void set(std::string key, std::string value);
+  void incr_by(std::string key, std::int64_t delta);
+  void hset(std::string key, std::string field, std::string value);
+  void hdel(std::string key, std::string field);
+  void zadd(std::string key, std::string member, double score);
+  void zrem(std::string key, std::string member);
+  void rpush(std::string key, std::string value);
+  void del(std::string key);
+
+  /// Validate watches and apply queued commands atomically.
+  /// After exec() the transaction is reset (watches and queue cleared).
+  TxnResult exec();
+
+  std::size_t queued() const { return commands_.size(); }
+
+ private:
+  Store& store_;
+  std::vector<std::pair<std::string, std::uint64_t>> watches_;
+  std::vector<std::function<void(Store&)>> commands_;
+};
+
+}  // namespace aimetro::kv

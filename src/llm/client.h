@@ -1,0 +1,61 @@
+// Blocking LLM client interface for the real (threaded) runtime.
+//
+// The paper's workers talk to the serving engine "through a thin shim
+// layer" (§3.6); this is that shim. The threaded engine and the gym
+// environment depend only on this interface, so any backend — a
+// deterministic fake for tests, or an adapter to a real OpenAI-compatible
+// server — plugs in without touching scheduling code.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace aimetro::llm {
+
+struct CompletionRequest {
+  std::string prompt;
+  std::int32_t max_tokens = 128;
+  std::int64_t priority = 0;  // simulation step (smaller = more urgent)
+};
+
+struct CompletionResult {
+  std::string text;
+  std::int32_t prompt_tokens = 0;
+  std::int32_t output_tokens = 0;
+};
+
+class LlmClient {
+ public:
+  virtual ~LlmClient() = default;
+  /// Blocking completion call (thread-safe).
+  virtual CompletionResult complete(const CompletionRequest& request) = 0;
+};
+
+/// Deterministic fake backend: the response text is a pure function of the
+/// prompt, so a simulation driven by it is reproducible regardless of
+/// scheduling order — which is exactly what the OOO-equivalence tests need.
+/// An optional artificial latency exercises real concurrency in the
+/// threaded runtime.
+class FakeLlmClient : public LlmClient {
+ public:
+  explicit FakeLlmClient(std::uint64_t seed = 1, SimTime latency_us = 0)
+      : seed_(seed), latency_us_(latency_us) {}
+
+  CompletionResult complete(const CompletionRequest& request) override;
+
+  std::uint64_t calls() const { return calls_.load(); }
+
+ private:
+  std::uint64_t seed_;
+  SimTime latency_us_;
+  std::atomic<std::uint64_t> calls_{0};
+};
+
+/// Rough byte-length token estimate used by the fake backend (1 token ~ 4
+/// characters), mirroring common tokenizer heuristics.
+std::int32_t estimate_tokens(const std::string& text);
+
+}  // namespace aimetro::llm

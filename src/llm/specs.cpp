@@ -1,0 +1,58 @@
+#include "llm/specs.h"
+
+namespace aimetro::llm {
+
+ModelSpec ModelSpec::llama3_8b() {
+  ModelSpec m;
+  m.name = "llama-3-8b-instruct";
+  m.total_params_b = 8.0;
+  m.active_params_b = 8.0;
+  m.n_layers = 32;
+  m.kv_dim = 1024;  // 8 KV heads x 128 (GQA)
+  return m;
+}
+
+ModelSpec ModelSpec::llama3_70b() {
+  ModelSpec m;
+  m.name = "llama-3-70b-instruct";
+  m.total_params_b = 70.0;
+  m.active_params_b = 70.0;
+  m.n_layers = 80;
+  m.kv_dim = 1024;  // 8 KV heads x 128 (GQA)
+  return m;
+}
+
+ModelSpec ModelSpec::mixtral_8x7b() {
+  ModelSpec m;
+  m.name = "mixtral-8x7b-instruct-v0.1";
+  m.total_params_b = 46.7;
+  m.active_params_b = 12.9;  // 2-of-8 experts per token
+  m.n_layers = 32;
+  m.kv_dim = 1024;  // 8 KV heads x 128 (GQA)
+  m.n_experts = 8;
+  m.experts_per_token = 2;
+  m.expert_params_frac = 0.96 * (1.0 - 12.9 / 46.7) /
+                         (1.0 - 12.9 / 46.7);  // ~= all non-shared weights
+  m.expert_params_frac = 0.83;  // attention + embeddings are shared
+  return m;
+}
+
+GpuSpec GpuSpec::l4() {
+  GpuSpec g;
+  g.name = "NVIDIA L4";
+  g.tflops = 121.0;  // dense fp16/bf16
+  g.mem_bw_gbps = 300.0;
+  g.hbm_gb = 24.0;
+  return g;
+}
+
+GpuSpec GpuSpec::a100_80gb() {
+  GpuSpec g;
+  g.name = "NVIDIA A100-80GB";
+  g.tflops = 312.0;
+  g.mem_bw_gbps = 2039.0;
+  g.hbm_gb = 80.0;
+  return g;
+}
+
+}  // namespace aimetro::llm

@@ -1,0 +1,51 @@
+#include "replay/gantt.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace aimetro::replay {
+
+std::string render_gantt_ascii(const std::vector<GanttRecord>& records,
+                               std::int32_t n_agents, SimTime t_begin,
+                               SimTime t_end, int columns,
+                               const std::vector<SimTime>& step_marks) {
+  AIM_CHECK(t_end > t_begin && columns > 0 && n_agents > 0);
+  const double span = static_cast<double>(t_end - t_begin);
+  auto col_of = [&](SimTime t) {
+    const double frac = static_cast<double>(t - t_begin) / span;
+    return std::clamp(static_cast<int>(frac * columns), 0, columns - 1);
+  };
+
+  std::vector<std::string> rows(static_cast<std::size_t>(n_agents),
+                                std::string(static_cast<std::size_t>(columns),
+                                            '.'));
+  for (const GanttRecord& rec : records) {
+    if (rec.agent < 0 || rec.agent >= n_agents) continue;
+    if (rec.finish < t_begin || rec.submit > t_end) continue;
+    const int c0 = col_of(std::max(rec.submit, t_begin));
+    const int c1 = col_of(std::min(rec.finish, t_end));
+    auto& row = rows[static_cast<std::size_t>(rec.agent)];
+    for (int c = c0; c <= c1; ++c) row[static_cast<std::size_t>(c)] = '#';
+  }
+  for (SimTime mark : step_marks) {
+    if (mark < t_begin || mark > t_end) continue;
+    const int c = col_of(mark);
+    for (auto& row : rows) {
+      if (row[static_cast<std::size_t>(c)] == '.') {
+        row[static_cast<std::size_t>(c)] = '|';
+      }
+    }
+  }
+  std::string out;
+  out += strformat("time: %.1fs .. %.1fs  (# = in-flight LLM call, | = step "
+                   "boundary)\n",
+                   sim_time_to_seconds(t_begin), sim_time_to_seconds(t_end));
+  for (std::size_t a = 0; a < rows.size(); ++a) {
+    out += strformat("agent %3zu |%s|\n", a, rows[a].c_str());
+  }
+  return out;
+}
+
+}  // namespace aimetro::replay

@@ -1,0 +1,28 @@
+// Per-call execution records for Figure-1-style Gantt rendering.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "trace/schema.h"
+
+namespace aimetro::replay {
+
+struct GanttRecord {
+  AgentId agent = -1;
+  Step step = 0;
+  trace::CallType type = trace::CallType::kPerceive;
+  SimTime submit = 0;
+  SimTime finish = 0;
+};
+
+/// ASCII rendering: one row per agent, time bucketed into `columns` cells,
+/// '#' where the agent has an in-flight LLM call, '|' marking step
+/// boundaries for lock-step runs (pass the per-step completion times).
+std::string render_gantt_ascii(const std::vector<GanttRecord>& records,
+                               std::int32_t n_agents, SimTime t_begin,
+                               SimTime t_end, int columns = 100,
+                               const std::vector<SimTime>& step_marks = {});
+
+}  // namespace aimetro::replay

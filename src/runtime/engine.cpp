@@ -1,0 +1,133 @@
+#include "runtime/engine.h"
+
+#include <utility>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace aimetro::runtime {
+
+Engine::Engine(world::WorldState* world, EngineConfig config, StepFn step_fn)
+    : world_(world), config_(config), step_fn_(std::move(step_fn)) {
+  AIM_CHECK(world_ != nullptr);
+  AIM_CHECK(step_fn_ != nullptr);
+  AIM_CHECK(config_.n_workers >= 1);
+  std::vector<Pos> initial;
+  initial.reserve(world_->agent_count());
+  for (std::size_t i = 0; i < world_->agent_count(); ++i) {
+    initial.push_back(world_->pos_of(static_cast<AgentId>(i)));
+  }
+  scoreboard_ = std::make_unique<core::Scoreboard>(
+      config_.params, core::make_euclidean(), std::move(initial),
+      config_.target_step);
+  if (config_.kv_instrumentation) {
+    for (std::size_t i = 0; i < world_->agent_count(); ++i) {
+      const Tile t = world_->tile_of(static_cast<AgentId>(i));
+      const std::string key = strformat("agent:%zu", i);
+      store_.hset(key, "step", "0");
+      store_.hset(key, "x", std::to_string(t.x));
+      store_.hset(key, "y", std::to_string(t.y));
+    }
+  }
+}
+
+Engine::~Engine() {
+  ready_queue_.close();
+  ack_queue_.close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void Engine::dispatch_ready_locked() {
+  // Caller holds state_mutex_. Ready clusters go to the ready queue in
+  // step-priority order; workers pull the earliest step first (§3.5).
+  for (core::AgentCluster& cluster : scoreboard_->pop_ready_clusters()) {
+    const Step step = cluster.step;
+    ready_queue_.push(step, std::move(cluster));
+  }
+}
+
+void Engine::worker_loop() {
+  while (true) {
+    std::optional<core::AgentCluster> cluster = ready_queue_.pop();
+    if (!cluster) return;  // queue closed: simulation finished
+
+    // Heavy lifting off the controller's critical path (§3.6): agent
+    // processing (LLM calls) runs without any engine lock.
+    std::vector<world::StepIntent> intents = step_fn_(*cluster, *world_);
+
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      // resolve_conflict_and_commit applies developer conflict rules and
+      // commits winners to the world; the unique world lock excludes
+      // concurrent observation readers in other workers.
+      std::unique_lock<std::shared_mutex> world_lock(world_->mutex());
+      const auto outcomes =
+          world_->resolve_conflict_and_commit(cluster->step, intents);
+      world_lock.unlock();
+      std::vector<std::pair<AgentId, Pos>> moves;
+      moves.reserve(outcomes.size());
+      for (const auto& out : outcomes) {
+        moves.emplace_back(out.agent, out.tile.center());
+      }
+      scoreboard_->commit(moves);
+
+      if (config_.kv_instrumentation) {
+        // Transactional mirror of the committed agent rows, as the paper
+        // keeps all simulation state in the in-memory database.
+        kv::Transaction txn = store_.transaction();
+        for (const auto& out : outcomes) {
+          const std::string key = strformat("agent:%d", out.agent);
+          txn.hset(key, "step", std::to_string(cluster->step + 1));
+          txn.hset(key, "x", std::to_string(out.tile.x));
+          txn.hset(key, "y", std::to_string(out.tile.y));
+        }
+        txn.rpush("log:commits",
+                  strformat("step=%d size=%zu", cluster->step,
+                            cluster->members.size()));
+        txn.incr_by("stats:agent_steps",
+                    static_cast<std::int64_t>(cluster->members.size()));
+        const auto result = txn.exec();
+        std::lock_guard<std::mutex> slock(stats_mutex_);
+        ++stats_.kv_transactions;
+        if (result == kv::TxnResult::kConflict) ++stats_.kv_conflicts;
+      }
+      {
+        std::lock_guard<std::mutex> slock(stats_mutex_);
+        ++stats_.clusters_executed;
+        stats_.agent_steps += cluster->members.size();
+      }
+      dispatch_ready_locked();
+    }
+    ack_queue_.push(1);
+  }
+}
+
+EngineStats Engine::run() {
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    dispatch_ready_locked();
+  }
+  for (std::int32_t i = 0; i < config_.n_workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  // Controller: consume acks until every agent has reached the target.
+  while (true) {
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      if (scoreboard_->all_done()) break;
+    }
+    std::optional<int> ack = ack_queue_.pop();
+    if (!ack) break;
+  }
+  ready_queue_.close();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  workers_.clear();
+  std::lock_guard<std::mutex> slock(stats_mutex_);
+  return stats_;
+}
+
+}  // namespace aimetro::runtime

@@ -1,0 +1,460 @@
+#include "trace/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "world/pathfinding.h"
+
+namespace aimetro::trace {
+
+namespace {
+
+using world::GridMap;
+
+constexpr double kStepsPerHour = 360.0;  // 10 s per step
+
+struct AgentSim {
+  AgentId id = -1;
+  Tile tile;
+  // Daily schedule (step indices).
+  Step wake = 0, leave_home = 0, lunch_start = 0, lunch_end = 0;
+  Step social_start = 0, home_start = 0, sleep = 0;
+  std::string home, work, social;
+  // Navigation.
+  std::string current_target;
+  std::vector<Tile> path;
+  std::size_t path_idx = 0;
+  // Conversation state.
+  Step conversing_until = -1;
+  // Output.
+  std::vector<LlmCall> calls;
+};
+
+Step hour_to_step(double hour) {
+  return static_cast<Step>(std::lround(hour * kStepsPerHour));
+}
+
+Step clamp_step(Step s, Step lo, Step hi) { return std::clamp(s, lo, hi); }
+
+/// Deterministically pick a walkable tile inside an arena.
+Tile random_tile_in(const GridMap& map, const world::Arena& arena, Rng& rng) {
+  for (int tries = 0; tries < 64; ++tries) {
+    const Tile t{
+        static_cast<std::int32_t>(rng.uniform_int(arena.rect.x0, arena.rect.x1)),
+        static_cast<std::int32_t>(
+            rng.uniform_int(arena.rect.y0, arena.rect.y1))};
+    if (map.walkable(t)) return t;
+  }
+  return world::nearest_walkable(map, arena.rect.center());
+}
+
+std::int32_t sample_tokens(Rng& rng, double mean, double sigma_frac,
+                           std::int32_t lo, std::int32_t hi) {
+  const double v = rng.normal(mean, mean * sigma_frac);
+  return std::clamp(static_cast<std::int32_t>(std::lround(v)), lo, hi);
+}
+
+std::uint64_t prompt_hash_for(AgentId agent, CallType type,
+                              std::int32_t conversation_id) {
+  if (conversation_id >= 0) {
+    return splitmix64(0xC0FFEEULL ^ static_cast<std::uint64_t>(conversation_id));
+  }
+  return splitmix64((static_cast<std::uint64_t>(agent) << 8) ^
+                    static_cast<std::uint64_t>(type));
+}
+
+}  // namespace
+
+SimulationTrace generate(const GridMap& map, const GeneratorConfig& cfg) {
+  AIM_CHECK(cfg.n_agents > 0);
+  AIM_CHECK(cfg.steps_per_day > 0);
+  Rng rng(cfg.seed);
+
+  // Discover available homes / workplaces / social venues on the map.
+  std::vector<std::string> homes, workplaces, socials;
+  for (const auto& arena : map.arenas()) {
+    if (arena.name.rfind("home_", 0) == 0) homes.push_back(arena.name);
+  }
+  for (const char* w : {"cafe", "supply_store", "college", "bar"}) {
+    if (map.arena(w)) workplaces.push_back(w);
+  }
+  for (const char* s : {"park", "bar"}) {
+    if (map.arena(s)) socials.push_back(s);
+  }
+  AIM_CHECK_MSG(!homes.empty(), "map has no home_* arenas");
+  AIM_CHECK_MSG(!workplaces.empty(), "map has no workplace arenas");
+  if (socials.empty()) socials = workplaces;
+
+  const Step day = cfg.steps_per_day;
+  std::vector<AgentSim> sims(static_cast<std::size_t>(cfg.n_agents));
+  std::vector<std::vector<Tile>> positions(
+      static_cast<std::size_t>(cfg.n_agents));
+
+  for (std::int32_t i = 0; i < cfg.n_agents; ++i) {
+    AgentSim& a = sims[static_cast<std::size_t>(i)];
+    a.id = i;
+    a.home = homes[static_cast<std::size_t>(i) % homes.size()];
+    a.work = workplaces[rng.weighted_index({0.2, 0.2, 0.45, 0.15})
+                        % workplaces.size()];
+    a.social = socials[rng.bernoulli(0.6) ? 0 : socials.size() - 1];
+    // Daily routines are clock-driven: agents wake on quarter-hour marks,
+    // so their wake-up planning bursts align across agents (this is what
+    // keeps lock-step sync comparatively cheap in the early-morning quiet
+    // hour, §4.3).
+    a.wake = clamp_step(hour_to_step(rng.normal(6.5, 0.5)), hour_to_step(5.0),
+                        hour_to_step(8.0));
+    a.wake = (a.wake / 90) * 90;
+    a.leave_home = a.wake + static_cast<Step>(rng.uniform_int(120, 300));
+    a.lunch_start = clamp_step(hour_to_step(rng.normal(12.0, 0.2)),
+                               hour_to_step(11.5), hour_to_step(12.7));
+    a.lunch_end = a.lunch_start + static_cast<Step>(rng.uniform_int(200, 380));
+    a.social_start = clamp_step(hour_to_step(rng.normal(17.5, 0.8)),
+                                hour_to_step(16.0), hour_to_step(19.5));
+    a.home_start = clamp_step(hour_to_step(rng.normal(20.5, 0.8)),
+                              a.social_start + 60, hour_to_step(22.5));
+    a.sleep = clamp_step(hour_to_step(rng.normal(23.0, 0.8)),
+                         a.home_start + 60, day);
+    // Start in bed at home.
+    const world::Arena* home = map.arena(a.home);
+    AIM_CHECK(home != nullptr);
+    Tile bed = home->rect.center();
+    // Crowded maps may share homes: jitter within the plot.
+    bed.x = std::clamp(bed.x + static_cast<std::int32_t>(rng.uniform_int(-2, 2)),
+                       home->rect.x0, home->rect.x1);
+    a.tile = world::nearest_walkable(map, bed);
+    positions[static_cast<std::size_t>(i)].reserve(
+        static_cast<std::size_t>(day) + 1);
+    positions[static_cast<std::size_t>(i)].push_back(a.tile);
+  }
+
+  auto target_arena_at = [&](const AgentSim& a, Step s) -> const std::string& {
+    if (s < a.leave_home) return a.home;
+    if (s < a.lunch_start) return a.work;
+    if (s < a.lunch_end) {
+      static const std::string kCafe = "cafe";
+      return map.arena("cafe") ? kCafe : a.work;
+    }
+    if (s < a.social_start) return a.work;
+    if (s < a.home_start) return a.social;
+    return a.home;
+  };
+
+  std::int32_t next_conversation_id = 0;
+  std::vector<Interaction> interactions;
+  std::map<std::pair<AgentId, AgentId>, Step> last_conversation;
+
+  // Scheduled conversation turns: step -> (speaker, partner, conv id, turn).
+  struct Turn {
+    AgentId speaker, partner;
+    std::int32_t conv_id, turn_idx;
+  };
+  std::map<Step, std::vector<Turn>> scheduled_turns;
+
+  // ---- Pass A: movement, conversations, wake-up planning, reflections ----
+  for (std::int32_t i = 0; i < cfg.n_agents; ++i) {
+    AgentSim& a = sims[static_cast<std::size_t>(i)];
+    // Wake-up burst: daily plan + schedule decompositions.
+    a.calls.push_back(LlmCall{a.id, a.wake, 0, CallType::kDailyPlan,
+                              sample_tokens(rng, 820, 0.12, 400, 1600),
+                              sample_tokens(rng, 260, 0.15, 120, 500),
+                              prompt_hash_for(a.id, CallType::kDailyPlan, -1),
+                              -1});
+    const int decomp = static_cast<int>(rng.uniform_int(2, 3));
+    for (int k = 0; k < decomp; ++k) {
+      a.calls.push_back(
+          LlmCall{a.id, a.wake + 1 + k, 0, CallType::kScheduleDecomp,
+                  sample_tokens(rng, 700, 0.12, 300, 1400),
+                  sample_tokens(rng, 120, 0.2, 40, 300),
+                  prompt_hash_for(a.id, CallType::kScheduleDecomp, -1), -1});
+    }
+    // Reflections at 2-3 random awake steps.
+    const int reflections = static_cast<int>(rng.uniform_int(2, 3));
+    for (int k = 0; k < reflections; ++k) {
+      const Step s = static_cast<Step>(
+          rng.uniform_int(a.wake + 600, std::max<Step>(a.wake + 601, a.sleep - 60)));
+      a.calls.push_back(LlmCall{a.id, std::min(s, day - 1), 0,
+                                CallType::kReflect,
+                                sample_tokens(rng, 1100, 0.15, 500, 2200),
+                                sample_tokens(rng, 110, 0.2, 40, 250),
+                                prompt_hash_for(a.id, CallType::kReflect, -1),
+                                -1});
+    }
+  }
+
+  for (Step s = 0; s < day; ++s) {
+    const auto hour = static_cast<std::size_t>(
+        std::min<Step>(23, static_cast<Step>(s / kStepsPerHour)));
+
+    // Emit scheduled conversation turns for this step.
+    if (auto it = scheduled_turns.find(s); it != scheduled_turns.end()) {
+      for (const Turn& turn : it->second) {
+        AgentSim& speaker = sims[static_cast<std::size_t>(turn.speaker)];
+        speaker.calls.push_back(LlmCall{
+            turn.speaker, s, 0, CallType::kConverse,
+            sample_tokens(rng, 560.0 + 38.0 * turn.turn_idx, 0.1, 200, 3000),
+            sample_tokens(rng, 26, 0.3, 4, 80),
+            prompt_hash_for(turn.speaker, CallType::kConverse, turn.conv_id),
+            turn.conv_id});
+        interactions.push_back(Interaction{s, std::min(turn.speaker, turn.partner),
+                                           std::max(turn.speaker, turn.partner)});
+      }
+    }
+
+    // Movement.
+    for (auto& a : sims) {
+      const bool asleep = s < a.wake || s >= a.sleep;
+      if (asleep || a.conversing_until >= s) {
+        positions[static_cast<std::size_t>(a.id)].push_back(a.tile);
+        continue;
+      }
+      const std::string& want = target_arena_at(a, s);
+      if (want != a.current_target) {
+        a.current_target = want;
+        const world::Arena* arena = map.arena(want);
+        AIM_CHECK(arena != nullptr);
+        const Tile goal = random_tile_in(map, *arena, rng);
+        a.path = world::find_path(map, a.tile, goal);
+        a.path_idx = a.path.empty() ? 0 : 1;  // path[0] == current tile
+      }
+      if (a.path_idx < a.path.size()) {
+        a.tile = a.path[a.path_idx++];
+      } else if (rng.bernoulli(0.15)) {
+        // Idle wander within the current arena.
+        const world::Arena* arena = map.arena_at(a.tile);
+        auto neighbors = map.neighbors(a.tile);
+        std::vector<Tile> candidates;
+        for (Tile n : neighbors) {
+          if (!arena || arena->rect.contains(n)) candidates.push_back(n);
+        }
+        if (!candidates.empty()) {
+          a.tile = candidates[static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(candidates.size()) - 1))];
+        }
+      }
+      positions[static_cast<std::size_t>(a.id)].push_back(a.tile);
+    }
+
+    // Conversation kick-off: co-located awake idle agents.
+    for (std::size_t i = 0; i < sims.size(); ++i) {
+      AgentSim& a = sims[i];
+      if (s < a.wake || s >= a.sleep || a.conversing_until >= s) continue;
+      for (std::size_t j = i + 1; j < sims.size(); ++j) {
+        AgentSim& b = sims[j];
+        if (s < b.wake || s >= b.sleep || b.conversing_until >= s) continue;
+        if (euclidean(a.tile.center(), b.tile.center()) > cfg.radius_p) continue;
+        const auto pair_key = std::make_pair(a.id, b.id);
+        auto lit = last_conversation.find(pair_key);
+        if (lit != last_conversation.end() &&
+            s - lit->second < cfg.conversation_cooldown_steps) {
+          continue;
+        }
+        // Socializing follows the diurnal intensity: frequent, long
+        // conversations at the midday peak, rare brief exchanges in the
+        // early morning (§4.3: "busy hours feature long conversations").
+        double peak_weight = 0.0;
+        for (double w : cfg.hourly_weights) peak_weight = std::max(peak_weight, w);
+        const double conv_intensity = cfg.hourly_weights[hour] / peak_weight;
+        if (!rng.bernoulli(cfg.conversation_start_prob *
+                           std::max(0.1, conv_intensity))) {
+          continue;
+        }
+        const int n_turns =
+            3 + static_cast<int>(rng.poisson(1.4 * cfg.hourly_weights[hour]));
+        const std::int32_t conv_id = next_conversation_id++;
+        Step turn_step = s + 1;
+        for (int t = 0; t < n_turns && turn_step < day; ++t) {
+          const AgentId speaker = (t % 2 == 0) ? a.id : b.id;
+          const AgentId partner = (t % 2 == 0) ? b.id : a.id;
+          scheduled_turns[turn_step].push_back(Turn{speaker, partner, conv_id, t});
+          turn_step += 1;
+        }
+        const Step conv_end = std::min<Step>(turn_step, day - 1);
+        a.conversing_until = conv_end;
+        b.conversing_until = conv_end;
+        last_conversation[pair_key] = conv_end;
+        break;  // agent a starts at most one conversation per step
+      }
+    }
+  }
+
+  // ---- Pass B: routine fill to hit the diurnal call-count profile ----
+  double weight_sum = 0.0;
+  for (double w : cfg.hourly_weights) weight_sum += w;
+  AIM_CHECK(weight_sum > 0.0);
+  const double total_target = cfg.target_calls_per_25_agents *
+                              (static_cast<double>(cfg.n_agents) / 25.0);
+
+  // Existing (pass A) calls and input tokens per hour.
+  std::array<double, 24> existing{};
+  double nonroutine_input_sum = 0.0;
+  std::size_t nonroutine_count = 0;
+  for (const auto& a : sims) {
+    for (const auto& c : a.calls) {
+      existing[static_cast<std::size_t>(
+          std::min<Step>(23, static_cast<Step>(c.step / kStepsPerHour)))] += 1.0;
+      nonroutine_input_sum += c.input_tokens;
+      ++nonroutine_count;
+    }
+  }
+
+  // Choose the routine input-token mean so the trace-wide mean hits the
+  // calibration target.
+  double routine_quota = 0.0;
+  for (std::size_t h = 0; h < 24; ++h) {
+    routine_quota += std::max(
+        0.0, total_target * cfg.hourly_weights[h] / weight_sum - existing[h]);
+  }
+  const double routine_input_mean =
+      routine_quota > 0.0
+          ? std::clamp((cfg.mean_input_tokens *
+                            (routine_quota + static_cast<double>(nonroutine_count)) -
+                        nonroutine_input_sum) /
+                           routine_quota,
+                       64.0, 2048.0)
+          : cfg.mean_input_tokens;
+
+  // Awake agents per hour for fill sampling.
+  std::array<std::vector<AgentId>, 24> awake_by_hour;
+  for (const auto& a : sims) {
+    for (std::size_t h = 0; h < 24; ++h) {
+      const Step h0 = static_cast<Step>(h * kStepsPerHour);
+      const Step h1 = h0 + static_cast<Step>(kStepsPerHour);
+      if (a.wake < h1 && a.sleep > h0) awake_by_hour[h].push_back(a.id);
+    }
+  }
+
+  static const CallType kBurstPattern[4] = {CallType::kPerceive,
+                                            CallType::kRetrieve,
+                                            CallType::kReact, CallType::kPlan};
+  // Output means per routine type, tuned so the trace-wide output mean
+  // lands at ~21.9 alongside the heavier plan/reflect/converse calls.
+  static const double kBurstOutMean[4] = {16.0, 13.0, 38.0, 35.0};
+
+  // The workload is heavily imbalanced across agents (§2.2, Figure 1):
+  // within an hour a few agents dominate, issuing long serial chains, while
+  // most agents stay quiet. Skewed per-(agent, hour) activity weights plus
+  // heavy-tailed task chain lengths reproduce that sparsity, which is what
+  // limits lock-step parallelism in the first place.
+  double max_weight = 0.0;
+  for (double w : cfg.hourly_weights) max_weight = std::max(max_weight, w);
+
+  for (std::size_t h = 0; h < 24; ++h) {
+    double deficit =
+        total_target * cfg.hourly_weights[h] / weight_sum - existing[h];
+    const auto& candidates = awake_by_hour[h];
+    if (candidates.empty()) continue;
+    // Mild per-agent skew: the *step-level* dominance (long bursts below)
+    // rotates across agents, matching Figure 1 — heavy steps, but hourly
+    // totals spread enough that out-of-order execution can overlap them.
+    std::vector<double> weights(candidates.size());
+    for (double& w : weights) w = std::exp(rng.normal(0.0, 0.6));
+    // Busy hours feature heavy multi-call tasks (long conversations, deep
+    // planning); quiet hours are mostly uniform one-or-two-call routines —
+    // the §4.3 contrast that makes lock-step sync cheap at 6am and
+    // expensive at noon.
+    const double intensity = cfg.hourly_weights[h] / max_weight;
+    const double p_task = 0.25 * intensity;
+    const double task_len_lambda = 1.0 + 7.0 * intensity;
+    // In light hours agents run the same clock-driven routines (waking,
+    // checking schedules), so their small calls align on common steps —
+    // which is why the paper sees parallel-sync do comparatively well in
+    // the quiet hour (§4.3). Busy hours are event-driven and unaligned.
+    const double p_pulse = 0.9 * (1.0 - intensity);
+    const Step h0 = static_cast<Step>(h * kStepsPerHour);
+    while (deficit >= 1.0) {
+      AgentSim& a =
+          sims[static_cast<std::size_t>(candidates[rng.weighted_index(weights)])];
+      const Step lo = std::max(h0, a.wake);
+      const Step hi = std::min<Step>(h0 + static_cast<Step>(kStepsPerHour) - 1,
+                                     a.sleep - 1);
+      if (lo > hi) continue;
+      Step s = static_cast<Step>(rng.uniform_int(lo, hi));
+      int burst;
+      if (rng.bernoulli(p_pulse)) {
+        // Clock-aligned routine: snap to the enclosing 2.5-minute boundary.
+        s = std::max(lo, static_cast<Step>(s / 15) * 15);
+        burst = 1 + static_cast<int>(rng.poisson(0.5));
+      } else if (rng.bernoulli(p_task)) {
+        burst = 5 + static_cast<int>(rng.poisson(task_len_lambda));
+      } else {
+        burst = 1 + static_cast<int>(rng.poisson(1.0));  // routine check
+      }
+      burst = std::min(burst, 24);
+      for (int k = 0; k < burst; ++k) {
+        const CallType type = kBurstPattern[k % 4];
+        a.calls.push_back(
+            LlmCall{a.id, s, 0, type,
+                    sample_tokens(rng, routine_input_mean, 0.45, 48, 3000),
+                    sample_tokens(rng, kBurstOutMean[k % 4], 0.4, 3, 120),
+                    prompt_hash_for(a.id, type, -1), -1});
+      }
+      deficit -= burst;
+    }
+  }
+
+  // ---- Assemble ----
+  SimulationTrace out;
+  out.n_agents = cfg.n_agents;
+  out.n_steps = day;
+  out.start_step = 0;
+  out.radius_p = cfg.radius_p;
+  out.max_vel = cfg.max_vel;
+  out.map_width = map.width();
+  out.map_height = map.height();
+  out.agents.resize(static_cast<std::size_t>(cfg.n_agents));
+  for (std::int32_t i = 0; i < cfg.n_agents; ++i) {
+    AgentTrace& at = out.agents[static_cast<std::size_t>(i)];
+    at.agent = i;
+    at.positions = std::move(positions[static_cast<std::size_t>(i)]);
+    AIM_CHECK(at.positions.size() == static_cast<std::size_t>(day) + 1);
+    auto& calls = sims[static_cast<std::size_t>(i)].calls;
+    std::stable_sort(calls.begin(), calls.end(),
+                     [](const LlmCall& x, const LlmCall& y) {
+                       return x.step < y.step;
+                     });
+    std::int32_t seq = 0;
+    Step prev = -1;
+    for (auto& c : calls) {
+      seq = (c.step == prev) ? seq + 1 : 0;
+      prev = c.step;
+      c.seq = seq;
+    }
+    at.calls = std::move(calls);
+  }
+  std::sort(interactions.begin(), interactions.end(),
+            [](const Interaction& x, const Interaction& y) {
+              if (x.step != y.step) return x.step < y.step;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  interactions.erase(std::unique(interactions.begin(), interactions.end()),
+                     interactions.end());
+  out.interactions = std::move(interactions);
+  out.validate();
+  return out;
+}
+
+SimulationTrace generate_large_ville(std::int32_t n_segments,
+                                     const GeneratorConfig& base) {
+  AIM_CHECK(n_segments >= 1);
+  const GridMap segment_map =
+      GridMap::smallville(std::min<std::int32_t>(base.n_agents, 26));
+  std::vector<SimulationTrace> segments;
+  segments.reserve(static_cast<std::size_t>(n_segments));
+  for (std::int32_t k = 0; k < n_segments; ++k) {
+    GeneratorConfig cfg = base;
+    cfg.seed = base.seed + static_cast<std::uint64_t>(k) * 0x9e3779b9ULL;
+    segments.push_back(generate(segment_map, cfg));
+  }
+  return concatenate_segments(segments, segment_map.width() + 1);
+}
+
+}  // namespace aimetro::trace

@@ -1,0 +1,189 @@
+#include "trace/schema.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace aimetro::trace {
+
+const char* call_type_name(CallType t) {
+  switch (t) {
+    case CallType::kPerceive:
+      return "perceive";
+    case CallType::kRetrieve:
+      return "retrieve";
+    case CallType::kPlan:
+      return "plan";
+    case CallType::kReact:
+      return "react";
+    case CallType::kConverse:
+      return "converse";
+    case CallType::kReflect:
+      return "reflect";
+    case CallType::kDailyPlan:
+      return "daily_plan";
+    case CallType::kScheduleDecomp:
+      return "schedule_decomp";
+  }
+  return "?";
+}
+
+std::size_t SimulationTrace::total_calls() const {
+  std::size_t n = 0;
+  for (const AgentTrace& a : agents) n += a.calls.size();
+  return n;
+}
+
+Tile SimulationTrace::position_at(AgentId id, Step step) const {
+  AIM_CHECK(id >= 0 && static_cast<std::size_t>(id) < agents.size());
+  const Step rel = step - start_step;
+  AIM_CHECK_MSG(rel >= 0 && static_cast<std::size_t>(rel) <
+                                agents[static_cast<std::size_t>(id)]
+                                    .positions.size(),
+                "step " << step << " outside trace window");
+  return agents[static_cast<std::size_t>(id)]
+      .positions[static_cast<std::size_t>(rel)];
+}
+
+void SimulationTrace::validate() const {
+  AIM_CHECK(n_agents == static_cast<std::int32_t>(agents.size()));
+  AIM_CHECK(n_steps >= 0);
+  AIM_CHECK(radius_p >= 0.0 && max_vel >= 0.0);
+  for (std::size_t i = 0; i < agents.size(); ++i) {
+    const AgentTrace& a = agents[i];
+    AIM_CHECK_MSG(a.agent == static_cast<AgentId>(i),
+                  "agent ids must be dense and ordered");
+    AIM_CHECK_MSG(a.positions.size() == static_cast<std::size_t>(n_steps) + 1,
+                  "agent " << i << " has " << a.positions.size()
+                           << " positions, expected " << n_steps + 1);
+    for (const Tile& t : a.positions) {
+      AIM_CHECK_MSG(t.x >= 0 && t.x < map_width && t.y >= 0 && t.y < map_height,
+                    "agent " << i << " position out of bounds");
+    }
+    for (std::size_t s = 0; s + 1 < a.positions.size(); ++s) {
+      const double d =
+          chebyshev(a.positions[s].center(), a.positions[s + 1].center());
+      AIM_CHECK_MSG(d <= max_vel + 1e-9,
+                    "agent " << i << " moved " << d << " > max_vel at step "
+                             << s);
+    }
+    for (std::size_t c = 0; c < a.calls.size(); ++c) {
+      const LlmCall& call = a.calls[c];
+      AIM_CHECK(call.agent == a.agent);
+      AIM_CHECK_MSG(call.step >= start_step && call.step < start_step + n_steps,
+                    "call step " << call.step << " outside window");
+      AIM_CHECK(call.input_tokens > 0 && call.output_tokens > 0);
+      if (c > 0) {
+        const LlmCall& prev = a.calls[c - 1];
+        AIM_CHECK_MSG(prev.step < call.step ||
+                          (prev.step == call.step && prev.seq < call.seq),
+                      "calls of agent " << i << " not sorted");
+      }
+    }
+  }
+  for (std::size_t i = 0; i < interactions.size(); ++i) {
+    const Interaction& in = interactions[i];
+    AIM_CHECK(in.a >= 0 && in.a < n_agents && in.b >= 0 && in.b < n_agents);
+    AIM_CHECK(in.a != in.b);
+    AIM_CHECK(in.step >= start_step && in.step < start_step + n_steps);
+  }
+}
+
+StepCalls group_calls_by_step(const AgentTrace& agent) {
+  StepCalls out;
+  for (const LlmCall& call : agent.calls) {
+    out[call.step].push_back(&call);
+  }
+  return out;
+}
+
+SimulationTrace slice(const SimulationTrace& full, Step begin, Step end) {
+  AIM_CHECK(begin >= full.start_step);
+  AIM_CHECK(end <= full.start_step + full.n_steps);
+  AIM_CHECK(begin < end);
+  SimulationTrace out;
+  out.n_agents = full.n_agents;
+  out.n_steps = end - begin;
+  out.start_step = begin;
+  out.seconds_per_step = full.seconds_per_step;
+  out.radius_p = full.radius_p;
+  out.max_vel = full.max_vel;
+  out.map_width = full.map_width;
+  out.map_height = full.map_height;
+  out.agents.reserve(full.agents.size());
+  const std::size_t off = static_cast<std::size_t>(begin - full.start_step);
+  for (const AgentTrace& a : full.agents) {
+    AgentTrace s;
+    s.agent = a.agent;
+    s.positions.assign(
+        a.positions.begin() + static_cast<std::ptrdiff_t>(off),
+        a.positions.begin() +
+            static_cast<std::ptrdiff_t>(off + static_cast<std::size_t>(out.n_steps) + 1));
+    for (const LlmCall& c : a.calls) {
+      if (c.step >= begin && c.step < end) s.calls.push_back(c);
+    }
+    out.agents.push_back(std::move(s));
+  }
+  for (const Interaction& in : full.interactions) {
+    if (in.step >= begin && in.step < end) out.interactions.push_back(in);
+  }
+  return out;
+}
+
+SimulationTrace concatenate_segments(
+    const std::vector<SimulationTrace>& segments, std::int32_t stride_x) {
+  AIM_CHECK(!segments.empty());
+  const SimulationTrace& first = segments.front();
+  SimulationTrace out;
+  out.n_agents = 0;
+  out.n_steps = first.n_steps;
+  out.start_step = first.start_step;
+  out.seconds_per_step = first.seconds_per_step;
+  out.radius_p = first.radius_p;
+  out.max_vel = first.max_vel;
+  out.map_width = stride_x * static_cast<std::int32_t>(segments.size());
+  out.map_height = first.map_height;
+  for (std::size_t k = 0; k < segments.size(); ++k) {
+    const SimulationTrace& seg = segments[k];
+    AIM_CHECK_MSG(seg.n_steps == first.n_steps &&
+                      seg.start_step == first.start_step &&
+                      seg.radius_p == first.radius_p &&
+                      seg.max_vel == first.max_vel,
+                  "segment shapes differ");
+    AIM_CHECK_MSG(seg.map_width <= stride_x, "stride narrower than segment");
+    const AgentId id_off = out.n_agents;
+    const std::int32_t x_off = static_cast<std::int32_t>(k) * stride_x;
+    for (const AgentTrace& a : seg.agents) {
+      AgentTrace moved;
+      moved.agent = a.agent + id_off;
+      moved.positions.reserve(a.positions.size());
+      for (Tile t : a.positions) {
+        moved.positions.push_back(Tile{t.x + x_off, t.y});
+      }
+      moved.calls = a.calls;
+      for (LlmCall& c : moved.calls) {
+        c.agent += id_off;
+        if (c.conversation_id >= 0) {
+          // Keep conversation ids unique across segments.
+          c.conversation_id += static_cast<std::int32_t>(k) * 1000000;
+        }
+      }
+      out.agents.push_back(std::move(moved));
+    }
+    for (Interaction in : seg.interactions) {
+      in.a += id_off;
+      in.b += id_off;
+      out.interactions.push_back(in);
+    }
+    out.n_agents += seg.n_agents;
+  }
+  std::sort(out.interactions.begin(), out.interactions.end(),
+            [](const Interaction& x, const Interaction& y) {
+              if (x.step != y.step) return x.step < y.step;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  return out;
+}
+
+}  // namespace aimetro::trace

@@ -1,0 +1,81 @@
+#include "trace/stats.h"
+
+#include <set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace aimetro::trace {
+
+TraceStats compute_stats(const SimulationTrace& trace) {
+  TraceStats st;
+  std::set<std::int32_t> conv_ids;
+  const double steps_per_hour = 3600.0 / trace.seconds_per_step;
+  for (const AgentTrace& a : trace.agents) {
+    for (const LlmCall& c : a.calls) {
+      ++st.total_calls;
+      st.total_input_tokens += c.input_tokens;
+      st.total_output_tokens += c.output_tokens;
+      const auto hour = static_cast<std::size_t>(
+          static_cast<double>(c.step) / steps_per_hour);
+      if (hour < 24) ++st.calls_per_hour[hour];
+      if (c.conversation_id >= 0) {
+        ++st.conversation_calls;
+        conv_ids.insert(c.conversation_id);
+      }
+    }
+  }
+  st.conversations = conv_ids.size();
+  st.interactions = trace.interactions.size();
+  if (st.total_calls > 0) {
+    st.mean_input_tokens = static_cast<double>(st.total_input_tokens) /
+                           static_cast<double>(st.total_calls);
+    st.mean_output_tokens = static_cast<double>(st.total_output_tokens) /
+                            static_cast<double>(st.total_calls);
+  }
+
+  // Dependency sparsity: for each (agent, step-with-calls), count agents B
+  // (including self) whose prior-step position falls within the observation
+  // radius — the real dependencies the paper contrasts with the default
+  // "all 25 agents" of lock-step sync (§2.2).
+  std::size_t dep_samples = 0;
+  std::size_t dep_total = 0;
+  for (const AgentTrace& a : trace.agents) {
+    Step prev_step = -1;
+    for (const LlmCall& c : a.calls) {
+      if (c.step == prev_step) continue;  // one sample per (agent, step)
+      prev_step = c.step;
+      if (c.step == trace.start_step) continue;  // no prior step in window
+      ++dep_samples;
+      const Pos pa = trace.position_at(a.agent, c.step).center();
+      for (const AgentTrace& b : trace.agents) {
+        const Pos pb = trace.position_at(b.agent, c.step - 1).center();
+        if (euclidean(pa, pb) <= trace.radius_p + trace.max_vel) ++dep_total;
+      }
+    }
+  }
+  st.mean_prior_step_dependencies =
+      dep_samples ? static_cast<double>(dep_total) /
+                        static_cast<double>(dep_samples)
+                  : 0.0;
+  return st;
+}
+
+std::string TraceStats::to_string() const {
+  std::string out;
+  out += strformat("total_calls            %zu\n", total_calls);
+  out += strformat("mean_input_tokens      %.1f\n", mean_input_tokens);
+  out += strformat("mean_output_tokens     %.1f\n", mean_output_tokens);
+  out += strformat("conversations          %zu (%zu calls)\n", conversations,
+                   conversation_calls);
+  out += strformat("interactions           %zu\n", interactions);
+  out += strformat("mean_prior_step_deps   %.2f\n", mean_prior_step_dependencies);
+  out += "calls_per_hour:\n";
+  for (std::size_t h = 0; h < 24; ++h) {
+    out += strformat("  %02zu:00  %6zu\n", h, calls_per_hour[h]);
+  }
+  return out;
+}
+
+}  // namespace aimetro::trace

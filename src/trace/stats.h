@@ -1,0 +1,35 @@
+// Aggregate trace statistics: the numbers §4.1 and Figure 4c report
+// (calls per day, token-length means, calls per simulated hour) plus the
+// dependency-sparsity measurement from §2.2 (mean prior-step dependencies
+// per agent).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "trace/schema.h"
+
+namespace aimetro::trace {
+
+struct TraceStats {
+  std::size_t total_calls = 0;
+  double mean_input_tokens = 0.0;
+  double mean_output_tokens = 0.0;
+  std::int64_t total_input_tokens = 0;
+  std::int64_t total_output_tokens = 0;
+  std::array<std::size_t, 24> calls_per_hour{};  // by simulated hour of day
+  std::size_t conversation_calls = 0;
+  std::size_t conversations = 0;
+  std::size_t interactions = 0;
+  /// Average over (agent, step) of the number of *observation-rule*
+  /// dependencies on the prior step (including self) — the paper measures
+  /// 1.85 for GenAgent (§2.2). Computed on steps where the agent has calls.
+  double mean_prior_step_dependencies = 0.0;
+
+  std::string to_string() const;
+};
+
+TraceStats compute_stats(const SimulationTrace& trace);
+
+}  // namespace aimetro::trace

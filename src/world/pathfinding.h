@@ -1,0 +1,23 @@
+// A* pathfinding on the grid map (4-connected, Manhattan heuristic).
+// Used by the trace generator to produce realistic agent movement and by
+// the live gym environment for navigation actions.
+#pragma once
+
+#include <vector>
+
+#include "common/types.h"
+#include "world/grid_map.h"
+
+namespace aimetro::world {
+
+/// Shortest walkable path from `start` to `goal`, inclusive of both
+/// endpoints. Returns an empty vector when no path exists. If
+/// start == goal, returns {start}. Deterministic tie-breaking.
+std::vector<Tile> find_path(const GridMap& map, Tile start, Tile goal);
+
+/// Nearest walkable tile to `t` (BFS ring search); returns `t` itself when
+/// already walkable. Check-fails if the map has no walkable tile within
+/// `max_ring` rings.
+Tile nearest_walkable(const GridMap& map, Tile t, std::int32_t max_ring = 64);
+
+}  // namespace aimetro::world

@@ -1,0 +1,83 @@
+#include "world/spatial_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aimetro::world {
+
+void SpatialIndex::insert(AgentId id, Pos pos) {
+  AIM_CHECK_MSG(positions_.count(id) == 0, "agent " << id << " already indexed");
+  positions_.emplace(id, pos);
+  cells_[cell_of(pos)].push_back(id);
+}
+
+void SpatialIndex::remove(AgentId id) {
+  auto it = positions_.find(id);
+  if (it == positions_.end()) return;
+  const Cell c = cell_of(it->second);
+  auto cit = cells_.find(c);
+  AIM_CHECK(cit != cells_.end());
+  auto& bucket = cit->second;
+  bucket.erase(std::find(bucket.begin(), bucket.end(), id));
+  if (bucket.empty()) cells_.erase(cit);
+  positions_.erase(it);
+}
+
+void SpatialIndex::update(AgentId id, Pos pos) {
+  auto it = positions_.find(id);
+  if (it == positions_.end()) {
+    insert(id, pos);
+    return;
+  }
+  const Cell old_cell = cell_of(it->second);
+  const Cell new_cell = cell_of(pos);
+  it->second = pos;
+  if (old_cell == new_cell) return;
+  auto& old_bucket = cells_[old_cell];
+  old_bucket.erase(std::find(old_bucket.begin(), old_bucket.end(), id));
+  if (old_bucket.empty()) cells_.erase(old_cell);
+  cells_[new_cell].push_back(id);
+}
+
+Pos SpatialIndex::position(AgentId id) const {
+  auto it = positions_.find(id);
+  AIM_CHECK_MSG(it != positions_.end(), "agent " << id << " not indexed");
+  return it->second;
+}
+
+std::vector<AgentId> SpatialIndex::query_box(Pos center,
+                                             double half_extent) const {
+  AIM_CHECK(half_extent >= 0.0);
+  std::vector<AgentId> out;
+  const Cell lo = cell_of(Pos{center.x - half_extent, center.y - half_extent});
+  const Cell hi = cell_of(Pos{center.x + half_extent, center.y + half_extent});
+  for (std::int32_t cy = lo.y; cy <= hi.y; ++cy) {
+    for (std::int32_t cx = lo.x; cx <= hi.x; ++cx) {
+      auto it = cells_.find(Cell{cx, cy});
+      if (it == cells_.end()) continue;
+      for (AgentId id : it->second) {
+        const Pos p = positions_.at(id);
+        if (std::abs(p.x - center.x) <= half_extent &&
+            std::abs(p.y - center.y) <= half_extent) {
+          out.push_back(id);
+        }
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<AgentId> SpatialIndex::query_radius(Pos center,
+                                                double radius) const {
+  std::vector<AgentId> out = query_box(center, radius);
+  out.erase(std::remove_if(out.begin(), out.end(),
+                           [&](AgentId id) {
+                             return euclidean(positions_.at(id), center) >
+                                    radius;
+                           }),
+            out.end());
+  return out;
+}
+
+}  // namespace aimetro::world

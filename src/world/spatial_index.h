@@ -1,0 +1,55 @@
+// Uniform-grid spatial hash over agent positions.
+//
+// The dependency graph re-examines an agent's relationships against "any
+// other relevant agents" (§3.3) after each step; the index turns that from
+// O(n) into a local cell-box probe. query_box returns everything within a
+// Chebyshev box, which is a superset of the Euclidean, Manhattan and
+// Chebyshev balls of the same radius — callers apply their exact metric on
+// the candidates, keeping the index metric-agnostic.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/types.h"
+
+namespace aimetro::world {
+
+class SpatialIndex {
+ public:
+  explicit SpatialIndex(double cell_size) : cell_size_(cell_size) {
+    AIM_CHECK(cell_size > 0.0);
+  }
+
+  void insert(AgentId id, Pos pos);
+  /// No-op if absent.
+  void remove(AgentId id);
+  /// Insert-or-move.
+  void update(AgentId id, Pos pos);
+  bool contains(AgentId id) const { return positions_.count(id) > 0; }
+  Pos position(AgentId id) const;
+  std::size_t size() const { return positions_.size(); }
+
+  /// All agents with |dx| <= half_extent and |dy| <= half_extent from
+  /// `center` (cell-rounded superset; exact box filter applied).
+  /// Deterministic order (sorted by id).
+  std::vector<AgentId> query_box(Pos center, double half_extent) const;
+
+  /// Agents within Euclidean distance `radius` of `center`, sorted by id.
+  std::vector<AgentId> query_radius(Pos center, double radius) const;
+
+ private:
+  using Cell = Tile;  // reuse integer pair + hash
+
+  Cell cell_of(Pos p) const {
+    return Cell{static_cast<std::int32_t>(std::floor(p.x / cell_size_)),
+                static_cast<std::int32_t>(std::floor(p.y / cell_size_))};
+  }
+
+  double cell_size_;
+  std::unordered_map<AgentId, Pos> positions_;
+  std::unordered_map<Cell, std::vector<AgentId>, TileHash> cells_;
+};
+
+}  // namespace aimetro::world

@@ -1,0 +1,96 @@
+// Mutable simulation state: agent positions, object occupancy, and the
+// developer-visible write-conflict resolution the paper delegates to
+// "developer-specified rules" (§3.4) — e.g., two agents both trying to use
+// the bathroom, where only one can step in.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+#include "world/grid_map.h"
+#include "world/spatial_index.h"
+
+namespace aimetro::world {
+
+/// An agent's intended effects for one step: optionally move and/or claim an
+/// object. Produced by Agent::proceed in the live (gym) mode.
+struct StepIntent {
+  AgentId agent = -1;
+  std::optional<Tile> move_to;              // adjacent tile or stay
+  std::optional<std::string> claim_object;  // object to occupy this step
+  std::optional<std::string> emit_event;    // event text written at the tile
+};
+
+/// Outcome of conflict resolution for one agent.
+struct StepOutcome {
+  AgentId agent = -1;
+  Tile tile;               // final position after the step
+  bool move_ok = true;     // false if the move lost a conflict
+  bool claim_ok = true;    // false if the object claim lost a conflict
+};
+
+/// A timestamped event visible to nearby agents (speech, object changes).
+struct WorldEvent {
+  Step step = 0;
+  Tile tile;
+  AgentId source = -1;
+  std::string text;
+};
+
+class WorldState {
+ public:
+  WorldState(const GridMap* map, std::vector<Tile> initial_tiles);
+
+  const GridMap& map() const { return *map_; }
+  std::size_t agent_count() const { return tiles_.size(); }
+
+  Tile tile_of(AgentId id) const;
+  Pos pos_of(AgentId id) const { return tile_of(id).center(); }
+  /// Direct position write (used by trace replay where movement is given).
+  void set_tile(AgentId id, Tile t);
+
+  /// Apply a batch of intents from one cluster atomically with
+  /// deterministic conflict resolution:
+  ///  - two agents moving onto the same tile: lowest id wins, others stay;
+  ///  - moving onto a tile currently occupied by a non-moving agent: denied;
+  ///  - object claims: lowest id wins, object becomes occupied this step.
+  /// Events are appended to the event log.
+  std::vector<StepOutcome> resolve_conflict_and_commit(
+      Step step, const std::vector<StepIntent>& intents);
+
+  /// Agents within Euclidean `radius` of `center` (sorted by id).
+  std::vector<AgentId> agents_within(Pos center, double radius) const;
+
+  /// Events within `radius` of `center` emitted at steps in
+  /// [min_step, max_step].
+  std::vector<WorldEvent> events_near(Pos center, double radius, Step min_step,
+                                      Step max_step) const;
+
+  const std::string* object_holder(const std::string& object) const;
+  std::size_t event_count() const { return events_.size(); }
+
+  /// Order-insensitive digest over agent positions + object occupancy +
+  /// event log; equal digests across two runs mean the simulations agree.
+  std::uint64_t state_hash() const;
+
+  /// Concurrency protocol for the threaded runtime: readers (observation
+  /// building) take shared locks, resolve_conflict_and_commit callers take
+  /// the unique lock. WorldState itself does not lock — callers do —
+  /// so single-threaded users pay nothing.
+  std::shared_mutex& mutex() const { return mutex_; }
+
+ private:
+  mutable std::shared_mutex mutex_;
+  const GridMap* map_;
+  std::vector<Tile> tiles_;
+  SpatialIndex index_;
+  std::unordered_map<std::string, std::string> object_holders_;
+  std::vector<WorldEvent> events_;
+};
+
+}  // namespace aimetro::world

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/check.h"
+#include "kv/store.h"
+
+namespace aimetro::kv {
+namespace {
+
+TEST(KvStrings, SetGetDel) {
+  Store s;
+  EXPECT_FALSE(s.get("k").has_value());
+  s.set("k", "v1");
+  EXPECT_EQ(s.get("k").value(), "v1");
+  s.set("k", "v2");
+  EXPECT_EQ(s.get("k").value(), "v2");
+  EXPECT_TRUE(s.del("k"));
+  EXPECT_FALSE(s.del("k"));
+  EXPECT_FALSE(s.exists("k"));
+}
+
+TEST(KvStrings, IncrBy) {
+  Store s;
+  EXPECT_EQ(s.incr_by("n", 5), 5);
+  EXPECT_EQ(s.incr_by("n", -2), 3);
+  EXPECT_EQ(s.get("n").value(), "3");
+  s.set("bad", "xyz");
+  EXPECT_THROW(s.incr_by("bad", 1), CheckError);
+}
+
+TEST(KvHashes, BasicOps) {
+  Store s;
+  EXPECT_TRUE(s.hset("h", "f1", "a"));
+  EXPECT_FALSE(s.hset("h", "f1", "b"));  // overwrite, not new
+  EXPECT_TRUE(s.hset("h", "f2", "c"));
+  EXPECT_EQ(s.hget("h", "f1").value(), "b");
+  EXPECT_FALSE(s.hget("h", "nope").has_value());
+  EXPECT_EQ(s.hlen("h"), 2u);
+  const auto all = s.hgetall("h");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0].first, "f1");  // sorted by field
+  EXPECT_TRUE(s.hdel("h", "f1"));
+  EXPECT_FALSE(s.hdel("h", "f1"));
+  EXPECT_EQ(s.hlen("h"), 1u);
+}
+
+TEST(KvHashes, WrongTypeRejected) {
+  Store s;
+  s.set("str", "x");
+  EXPECT_THROW(s.hset("str", "f", "v"), CheckError);
+  EXPECT_FALSE(s.hget("str", "f").has_value());
+}
+
+TEST(KvZSets, ScoresAndRanges) {
+  Store s;
+  EXPECT_TRUE(s.zadd("z", "a", 3.0));
+  EXPECT_TRUE(s.zadd("z", "b", 1.0));
+  EXPECT_TRUE(s.zadd("z", "c", 2.0));
+  EXPECT_FALSE(s.zadd("z", "a", 0.5));  // update
+  EXPECT_EQ(s.zcard("z"), 3u);
+  EXPECT_DOUBLE_EQ(s.zscore("z", "a").value(), 0.5);
+  const auto range = s.zrange_by_score("z", 0.0, 2.0);
+  ASSERT_EQ(range.size(), 3u);  // a(0.5), b(1.0), c(2.0)
+  EXPECT_EQ(range[0].first, "a");
+  EXPECT_EQ(range[1].first, "b");
+  EXPECT_EQ(range[2].first, "c");
+  const auto popped = s.zpop_min("z");
+  EXPECT_EQ(popped->first, "a");
+  EXPECT_TRUE(s.zrem("z", "b"));
+  EXPECT_FALSE(s.zrem("z", "b"));
+  EXPECT_EQ(s.zcard("z"), 1u);
+}
+
+TEST(KvLists, PushPopRange) {
+  Store s;
+  s.rpush("l", "a");
+  s.rpush("l", "b");
+  s.rpush("l", "c");
+  EXPECT_EQ(s.llen("l"), 3u);
+  EXPECT_EQ(s.lrange("l", 0, -1),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(s.lrange("l", -2, -1), (std::vector<std::string>{"b", "c"}));
+  EXPECT_EQ(s.lrange("l", 1, 1), (std::vector<std::string>{"b"}));
+  EXPECT_EQ(s.lpop("l").value(), "a");
+  EXPECT_EQ(s.llen("l"), 2u);
+}
+
+TEST(KvKeyspace, TypeVersionPrefix) {
+  Store s;
+  s.set("a:1", "x");
+  s.hset("a:2", "f", "y");
+  s.zadd("b:1", "m", 1.0);
+  EXPECT_EQ(s.type("a:1"), Type::kString);
+  EXPECT_EQ(s.type("a:2"), Type::kHash);
+  EXPECT_EQ(s.type("b:1"), Type::kZSet);
+  EXPECT_EQ(s.type("nope"), Type::kNone);
+  EXPECT_EQ(s.keys_with_prefix("a:"),
+            (std::vector<std::string>{"a:1", "a:2"}));
+  EXPECT_EQ(s.key_count(), 3u);
+  const auto v1 = s.version("a:1");
+  s.set("a:1", "x2");
+  EXPECT_GT(s.version("a:1"), v1);
+  EXPECT_EQ(s.version("missing"), 0u);
+  s.clear();
+  EXPECT_EQ(s.key_count(), 0u);
+}
+
+TEST(KvFingerprint, ContentEqualityIgnoringHistory) {
+  Store a, b;
+  a.set("k", "v");
+  a.hset("h", "f", "1");
+  a.zadd("z", "m", 2.5);
+  a.rpush("l", "e1");
+  // Build b in a different order, with extra churn.
+  b.rpush("l", "e1");
+  b.set("k", "tmp");
+  b.set("k", "v");
+  b.zadd("z", "m", 2.5);
+  b.hset("h", "f", "1");
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  b.set("k", "other");
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(KvFingerprint, ListOrderMatters) {
+  Store a, b;
+  a.rpush("l", "x");
+  a.rpush("l", "y");
+  b.rpush("l", "y");
+  b.rpush("l", "x");
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(KvTransaction, CommitsAtomically) {
+  Store s;
+  Transaction txn = s.transaction();
+  txn.set("a", "1");
+  txn.hset("h", "f", "2");
+  txn.zadd("z", "m", 3.0);
+  txn.rpush("l", "4");
+  txn.incr_by("n", 7);
+  EXPECT_EQ(txn.queued(), 5u);
+  EXPECT_EQ(txn.exec(), TxnResult::kCommitted);
+  EXPECT_EQ(s.get("a").value(), "1");
+  EXPECT_EQ(s.hget("h", "f").value(), "2");
+  EXPECT_DOUBLE_EQ(s.zscore("z", "m").value(), 3.0);
+  EXPECT_EQ(s.llen("l"), 1u);
+  EXPECT_EQ(s.get("n").value(), "7");
+}
+
+TEST(KvTransaction, WatchDetectsConflict) {
+  Store s;
+  s.set("w", "original");
+  Transaction txn = s.transaction();
+  txn.watch("w");
+  txn.set("out", "computed-from-original");
+  s.set("w", "changed-by-someone-else");
+  EXPECT_EQ(txn.exec(), TxnResult::kConflict);
+  EXPECT_FALSE(s.exists("out"));
+}
+
+TEST(KvTransaction, WatchOnMissingKeyDetectsCreation) {
+  Store s;
+  Transaction txn = s.transaction();
+  txn.watch("ghost");
+  txn.set("out", "1");
+  s.set("ghost", "now exists");
+  EXPECT_EQ(txn.exec(), TxnResult::kConflict);
+}
+
+TEST(KvTransaction, UnchangedWatchCommits) {
+  Store s;
+  s.set("w", "same");
+  Transaction txn = s.transaction();
+  txn.watch("w");
+  txn.del("w");
+  EXPECT_EQ(txn.exec(), TxnResult::kCommitted);
+  EXPECT_FALSE(s.exists("w"));
+}
+
+TEST(KvConcurrency, ParallelIncrementsAreLossless) {
+  Store s;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&s] {
+      for (int i = 0; i < kPerThread; ++i) s.incr_by("counter", 1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(s.get("counter").value(), std::to_string(kThreads * kPerThread));
+}
+
+TEST(KvConcurrency, OptimisticRetryLoopConverges) {
+  // Classic WATCH/MULTI/EXEC pattern: read, compute, conditional write.
+  Store s;
+  s.set("balance", "0");
+  constexpr int kThreads = 6;
+  constexpr int kPerThread = 300;
+  std::atomic<int> retries{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        while (true) {
+          Transaction txn = s.transaction();
+          txn.watch("balance");
+          const auto current = std::stoll(s.get("balance").value());
+          txn.set("balance", std::to_string(current + 1));
+          if (txn.exec() == TxnResult::kCommitted) break;
+          retries.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(s.get("balance").value(), std::to_string(kThreads * kPerThread));
+}
+
+TEST(KvConcurrency, MixedTypeStress) {
+  Store s(4);  // few shards to force contention
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 6; ++t) {
+    threads.emplace_back([&s, t] {
+      for (int i = 0; i < 2000; ++i) {
+        const std::string key = "k" + std::to_string(i % 17);
+        switch ((t + i) % 4) {
+          case 0:
+            s.hset(key + ":h", "f" + std::to_string(i % 5), "v");
+            break;
+          case 1:
+            s.zadd(key + ":z", "m" + std::to_string(i % 5), i);
+            break;
+          case 2:
+            s.rpush(key + ":l", "x");
+            break;
+          default:
+            s.incr_by(key + ":n", 1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_GT(s.key_count(), 0u);
+  EXPECT_EQ(s.get("k0:n").has_value(), true);
+}
+
+}  // namespace
+}  // namespace aimetro::kv

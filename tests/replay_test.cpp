@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "replay/experiment.h"
+#include "trace/generator.h"
+#include "world/grid_map.h"
+
+namespace aimetro::replay {
+namespace {
+
+const trace::SimulationTrace& small_busy_trace() {
+  static const trace::SimulationTrace trace = [] {
+    const auto map = world::GridMap::smallville(10);
+    trace::GeneratorConfig cfg;
+    cfg.n_agents = 10;
+    cfg.seed = 2024;
+    auto full = trace::generate(map, cfg);
+    return trace::slice(full, 4320, 4500);  // 180 busy steps
+  }();
+  return trace;
+}
+
+ExperimentConfig base_config(Mode mode, std::int32_t gpus = 2) {
+  ExperimentConfig cfg;
+  cfg.mode = mode;
+  cfg.parallelism = llm::ParallelismConfig{1, gpus};
+  return cfg;
+}
+
+ExperimentResult run(Mode mode, std::int32_t gpus = 2) {
+  return run_experiment(small_busy_trace(), base_config(mode, gpus));
+}
+
+TEST(Replay, AllModesCompleteAllCalls) {
+  const auto total = small_busy_trace().total_calls();
+  for (Mode mode : {Mode::kSingleThread, Mode::kParallelSync,
+                    Mode::kMetropolis, Mode::kOracle, Mode::kNoDependency}) {
+    const auto r = run(mode);
+    EXPECT_EQ(r.total_calls, total) << mode_name(mode);
+    EXPECT_GT(r.completion_seconds, 0.0) << mode_name(mode);
+    EXPECT_GT(r.des_events, 0u) << mode_name(mode);
+  }
+}
+
+TEST(Replay, PerformanceOrderingHolds) {
+  // critical <= oracle <= metropolis <= parallel-sync <= single-thread
+  // (§4's qualitative ordering). Modest slack for scheduling noise.
+  const double critical = run(Mode::kCritical).completion_seconds;
+  const double oracle = run(Mode::kOracle).completion_seconds;
+  const double metropolis = run(Mode::kMetropolis).completion_seconds;
+  const double sync = run(Mode::kParallelSync).completion_seconds;
+  const double single = run(Mode::kSingleThread).completion_seconds;
+  const double nodep = run(Mode::kNoDependency).completion_seconds;
+  EXPECT_LE(critical, oracle * 1.02);
+  EXPECT_LE(oracle, metropolis * 1.05);
+  EXPECT_LE(metropolis, sync * 1.02);
+  EXPECT_LE(sync, single * 1.02);
+  EXPECT_LE(nodep, oracle * 1.02);  // resource bound below dependency bound
+}
+
+TEST(Replay, DeterministicAcrossRuns) {
+  for (Mode mode : {Mode::kMetropolis, Mode::kOracle, Mode::kParallelSync}) {
+    const auto a = run(mode);
+    const auto b = run(mode);
+    EXPECT_DOUBLE_EQ(a.completion_seconds, b.completion_seconds)
+        << mode_name(mode);
+    EXPECT_EQ(a.des_events, b.des_events) << mode_name(mode);
+    EXPECT_DOUBLE_EQ(a.avg_parallelism, b.avg_parallelism) << mode_name(mode);
+  }
+}
+
+TEST(Replay, MetropolisBeatsSyncAndApproachesOracle) {
+  const auto sync = run(Mode::kParallelSync, 4);
+  const auto metro = run(Mode::kMetropolis, 4);
+  const auto oracle = run(Mode::kOracle, 4);
+  EXPECT_LT(metro.completion_seconds, sync.completion_seconds);
+  const double frac = oracle.completion_seconds / metro.completion_seconds;
+  EXPECT_GT(frac, 0.4);  // within the band the paper reports (53%-100%)
+  EXPECT_LE(frac, 1.0 + 1e-9);
+  EXPECT_GT(metro.avg_parallelism, sync.avg_parallelism);
+}
+
+TEST(Replay, MoreGpusNeverSlower) {
+  for (Mode mode : {Mode::kParallelSync, Mode::kMetropolis}) {
+    const auto g1 = run(mode, 1);
+    const auto g8 = run(mode, 8);
+    EXPECT_LE(g8.completion_seconds, g1.completion_seconds * 1.01)
+        << mode_name(mode);
+  }
+}
+
+TEST(Replay, SingleThreadParallelismIsOne) {
+  const auto r = run(Mode::kSingleThread);
+  EXPECT_NEAR(r.avg_parallelism, 1.0, 0.1);
+}
+
+TEST(Replay, MetropolisInvariantsHoldDuringReplay) {
+  auto cfg = base_config(Mode::kMetropolis);
+  cfg.validate_invariants = true;  // O(n^2) causality check at every commit
+  const auto r = run_experiment(small_busy_trace(), cfg);
+  EXPECT_GT(r.scoreboard.commits, 0u);
+  EXPECT_GT(r.scoreboard.clusters_dispatched, 0u);
+  EXPECT_GE(r.scoreboard.mean_cluster_size(), 1.0);
+  EXPECT_GT(r.mean_blockers, 0.0);
+  EXPECT_LT(r.mean_blockers, 10.0);  // sparse, as §2.2 measures
+}
+
+TEST(Replay, PrioritySchedulingHelpsMetropolis) {
+  // Table 1: priority scheduling speeds metropolis up (or at least never
+  // hurts) under contention.
+  auto with = base_config(Mode::kMetropolis, 1);
+  auto without = base_config(Mode::kMetropolis, 1);
+  without.cluster.priority_scheduling = false;
+  const auto rw = run_experiment(small_busy_trace(), with);
+  const auto ro = run_experiment(small_busy_trace(), without);
+  EXPECT_LE(rw.completion_seconds, ro.completion_seconds * 1.02);
+}
+
+TEST(Replay, GanttRecordsMatchCalls) {
+  auto cfg = base_config(Mode::kParallelSync);
+  cfg.record_gantt = true;
+  const auto r = run_experiment(small_busy_trace(), cfg);
+  EXPECT_EQ(r.gantt.size(), r.total_calls);
+  for (const auto& rec : r.gantt) {
+    EXPECT_GE(rec.finish, rec.submit);
+    EXPECT_GE(rec.agent, 0);
+    EXPECT_LT(rec.agent, small_busy_trace().n_agents);
+  }
+  // Step marks exist for lock-step runs (the Figure 1 dashed lines).
+  EXPECT_EQ(r.step_completion_times.size(),
+            static_cast<std::size_t>(small_busy_trace().n_steps));
+  const std::string art = render_gantt_ascii(
+      r.gantt, small_busy_trace().n_agents, 0,
+      sim_time_from_seconds(r.completion_seconds), 80,
+      r.step_completion_times);
+  EXPECT_NE(art.find("agent"), std::string::npos);
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(Replay, WorkerLimitThrottlesMetropolis) {
+  auto unlimited = base_config(Mode::kMetropolis, 8);
+  auto throttled = base_config(Mode::kMetropolis, 8);
+  throttled.max_concurrent_clusters = 1;  // a single worker
+  const auto ru = run_experiment(small_busy_trace(), unlimited);
+  const auto rt = run_experiment(small_busy_trace(), throttled);
+  EXPECT_GT(rt.completion_seconds, ru.completion_seconds);
+}
+
+TEST(Replay, CriticalPathReportsChainOnly) {
+  const auto r = run(Mode::kCritical);
+  EXPECT_GT(r.total_calls, 0u);
+  EXPECT_LT(r.total_calls, small_busy_trace().total_calls());
+  EXPECT_NEAR(r.avg_parallelism, 1.0, 0.05);
+}
+
+TEST(Replay, PrefixCacheAblationGains) {
+  // §4.1: enabling the prefix cache yields roughly a 20% throughput gain.
+  auto off = base_config(Mode::kMetropolis, 2);
+  auto on = base_config(Mode::kMetropolis, 2);
+  on.cluster.replica.prefix_cache = true;
+  const auto r_off = run_experiment(small_busy_trace(), off);
+  const auto r_on = run_experiment(small_busy_trace(), on);
+  EXPECT_LT(r_on.completion_seconds, r_off.completion_seconds);
+  EXPECT_GT(r_on.prefix_cache_hits, 0u);
+  EXPECT_EQ(r_off.prefix_cache_hits, 0u);
+}
+
+TEST(Replay, QuietHourIsCheaperThanBusyHour) {
+  const auto map = world::GridMap::smallville(10);
+  trace::GeneratorConfig gcfg;
+  gcfg.n_agents = 10;
+  gcfg.seed = 5;
+  const auto full = trace::generate(map, gcfg);
+  const auto busy = trace::slice(full, 4320, 4500);
+  const auto quiet = trace::slice(full, 2160, 2340);
+  const auto cfg = base_config(Mode::kMetropolis);
+  const auto rb = run_experiment(busy, cfg);
+  const auto rq = run_experiment(quiet, cfg);
+  EXPECT_LT(rq.completion_seconds, rb.completion_seconds);
+}
+
+TEST(Replay, SummaryStringsAreReadable) {
+  const auto r = run(Mode::kMetropolis);
+  const std::string s = r.summary();
+  EXPECT_NE(s.find("metropolis"), std::string::npos);
+  EXPECT_NE(s.find("completion"), std::string::npos);
+  EXPECT_STREQ(mode_name(Mode::kNoDependency), "no-dependency");
+}
+
+}  // namespace
+}  // namespace aimetro::replay

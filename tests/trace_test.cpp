@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+#include "trace/generator.h"
+#include "trace/schema.h"
+#include "trace/serialize.h"
+#include "trace/stats.h"
+#include "world/grid_map.h"
+
+namespace aimetro::trace {
+namespace {
+
+SimulationTrace day_trace(std::uint64_t seed, std::int32_t n_agents = 25) {
+  const auto map = world::GridMap::smallville(std::min(n_agents, 26));
+  GeneratorConfig cfg;
+  cfg.n_agents = n_agents;
+  cfg.seed = seed;
+  return generate(map, cfg);
+}
+
+/// Calibration sweep over seeds: the generator must reproduce the paper's
+/// published aggregates for any seed, not just a lucky one.
+class GeneratorCalibration : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorCalibration, MatchesPaperAggregates) {
+  const SimulationTrace trace = day_trace(GetParam());
+  const TraceStats stats = compute_stats(trace);
+  // ~56.7k calls per 25-agent day (§4.1).
+  EXPECT_NEAR(static_cast<double>(stats.total_calls), 56700.0, 56700.0 * 0.10);
+  // Mean input 642.6 tokens, mean output 21.9 tokens.
+  EXPECT_NEAR(stats.mean_input_tokens, 642.6, 642.6 * 0.10);
+  EXPECT_NEAR(stats.mean_output_tokens, 21.9, 21.9 * 0.20);
+  // Figure 4c shape: busy hour ~5000 calls, quiet hour ~800, sleep trough.
+  EXPECT_NEAR(static_cast<double>(stats.calls_per_hour[12]), 5000.0, 900.0);
+  EXPECT_NEAR(static_cast<double>(stats.calls_per_hour[6]), 800.0, 250.0);
+  for (int h : {1, 2, 3}) {
+    EXPECT_LT(stats.calls_per_hour[static_cast<std::size_t>(h)], 100u)
+        << "hour " << h;
+  }
+  EXPECT_GT(stats.calls_per_hour[12], stats.calls_per_hour[6]);
+  // Conversations exist and create interactions.
+  EXPECT_GT(stats.conversations, 50u);
+  EXPECT_GT(stats.interactions, 500u);
+  // Dependency sparsity: a handful of real dependencies, far fewer than 25
+  // (the paper measures 1.85 including self for the original trace).
+  EXPECT_GT(stats.mean_prior_step_dependencies, 1.0);
+  EXPECT_LT(stats.mean_prior_step_dependencies, 6.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorCalibration,
+                         ::testing::Values(42u, 7u, 12345u));
+
+TEST(Generator, StructurallyValidAndDeterministic) {
+  const SimulationTrace a = day_trace(99);
+  const SimulationTrace b = day_trace(99);
+  a.validate();
+  EXPECT_EQ(a.total_calls(), b.total_calls());
+  ASSERT_EQ(a.agents.size(), b.agents.size());
+  for (std::size_t i = 0; i < a.agents.size(); ++i) {
+    EXPECT_EQ(a.agents[i].positions, b.agents[i].positions);
+    EXPECT_EQ(a.agents[i].calls, b.agents[i].calls);
+  }
+  EXPECT_EQ(a.interactions, b.interactions);
+}
+
+TEST(Generator, AgentsSleepAtNight) {
+  const SimulationTrace trace = day_trace(5);
+  // At 2am (step 720) agents are in their homes, stationary.
+  for (const AgentTrace& a : trace.agents) {
+    EXPECT_EQ(a.positions[700], a.positions[740]);
+  }
+}
+
+TEST(Generator, ConversationsAreSpatiallyConsistent) {
+  const SimulationTrace trace = day_trace(8);
+  // At every explicit interaction, the pair must be within perception
+  // range (they were co-located when the conversation started and do not
+  // move during it; allow the start-step offset of one move).
+  for (const Interaction& in : trace.interactions) {
+    const double d = euclidean(trace.position_at(in.a, in.step).center(),
+                               trace.position_at(in.b, in.step).center());
+    EXPECT_LE(d, trace.radius_p + 2 * trace.max_vel)
+        << "step " << in.step << " agents " << in.a << "," << in.b;
+  }
+}
+
+TEST(Slice, WindowsCallsAndPositions) {
+  const SimulationTrace trace = day_trace(4);
+  const SimulationTrace busy = slice(trace, 4320, 4680);
+  busy.validate();
+  EXPECT_EQ(busy.n_steps, 360);
+  EXPECT_EQ(busy.start_step, 4320);
+  EXPECT_EQ(busy.agents[0].positions.size(), 361u);
+  EXPECT_EQ(busy.position_at(0, 4320), trace.position_at(0, 4320));
+  for (const auto& agent : busy.agents) {
+    for (const auto& call : agent.calls) {
+      EXPECT_GE(call.step, 4320);
+      EXPECT_LT(call.step, 4680);
+    }
+  }
+  // Slice totals match the full trace restricted to the window.
+  std::size_t expected = 0;
+  for (const auto& agent : trace.agents) {
+    for (const auto& call : agent.calls) {
+      if (call.step >= 4320 && call.step < 4680) ++expected;
+    }
+  }
+  EXPECT_EQ(busy.total_calls(), expected);
+  EXPECT_THROW(slice(trace, 100, 100), CheckError);
+}
+
+TEST(Concatenate, OffsetsAgentsAndSpace) {
+  GeneratorConfig cfg;
+  cfg.n_agents = 5;
+  const SimulationTrace big = generate_large_ville(3, cfg);
+  big.validate();
+  EXPECT_EQ(big.n_agents, 15);
+  const auto map = world::GridMap::smallville(5);
+  // Same-seed segment 0 reproduces inside the concatenation.
+  GeneratorConfig seg_cfg = cfg;
+  const SimulationTrace seg0 = generate(map, seg_cfg);
+  EXPECT_EQ(big.agents[0].positions, seg0.agents[0].positions);
+  // Segment 1 agents live in x ranges shifted by the stride.
+  const std::int32_t stride = map.width() + 1;
+  for (const Tile& t : big.agents[5].positions) {
+    EXPECT_GE(t.x, stride);
+    EXPECT_LT(t.x, 2 * stride);
+  }
+  // Interactions never cross segments.
+  for (const Interaction& in : big.interactions) {
+    EXPECT_EQ(in.a / 5, in.b / 5);
+  }
+}
+
+TEST(GroupCalls, ChainsOrderedWithinStep) {
+  const SimulationTrace trace = day_trace(3, 8);
+  const StepCalls grouped = group_calls_by_step(trace.agents[0]);
+  std::size_t total = 0;
+  for (const auto& [step, chain] : grouped) {
+    (void)step;
+    EXPECT_FALSE(chain.empty());
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      EXPECT_LT(chain[i - 1]->seq, chain[i]->seq);
+    }
+    total += chain.size();
+  }
+  EXPECT_EQ(total, trace.agents[0].calls.size());
+}
+
+TEST(Serialize, BinaryRoundTripIsExact) {
+  const SimulationTrace trace = day_trace(6, 6);
+  std::stringstream ss;
+  save_binary(trace, ss);
+  const SimulationTrace loaded = load_binary(ss);
+  EXPECT_EQ(loaded.n_agents, trace.n_agents);
+  EXPECT_EQ(loaded.n_steps, trace.n_steps);
+  EXPECT_EQ(loaded.radius_p, trace.radius_p);
+  ASSERT_EQ(loaded.agents.size(), trace.agents.size());
+  for (std::size_t i = 0; i < trace.agents.size(); ++i) {
+    EXPECT_EQ(loaded.agents[i].positions, trace.agents[i].positions);
+    EXPECT_EQ(loaded.agents[i].calls, trace.agents[i].calls);
+  }
+  EXPECT_EQ(loaded.interactions, trace.interactions);
+}
+
+TEST(Serialize, RejectsGarbage) {
+  std::stringstream ss;
+  ss << "definitely not a trace";
+  EXPECT_THROW(load_binary(ss), CheckError);
+}
+
+TEST(Serialize, JsonlExportHasHeaderAndEvents) {
+  const SimulationTrace trace = day_trace(2, 4);
+  std::stringstream ss;
+  export_jsonl(trace, ss);
+  std::string line;
+  ASSERT_TRUE(std::getline(ss, line));
+  EXPECT_NE(line.find("\"type\":\"header\""), std::string::npos);
+  EXPECT_NE(line.find("\"n_agents\":4"), std::string::npos);
+  std::size_t calls = 0, moves = 0;
+  while (std::getline(ss, line)) {
+    if (line.find("\"type\":\"call\"") != std::string::npos) ++calls;
+    if (line.find("\"type\":\"move\"") != std::string::npos) ++moves;
+  }
+  EXPECT_EQ(calls, trace.total_calls());
+  EXPECT_GT(moves, 0u);
+}
+
+TEST(Stats, HourHistogramSumsToTotal) {
+  const SimulationTrace trace = day_trace(10, 10);
+  const TraceStats stats = compute_stats(trace);
+  std::size_t sum = 0;
+  for (const auto c : stats.calls_per_hour) sum += c;
+  EXPECT_EQ(sum, stats.total_calls);
+  EXPECT_FALSE(stats.to_string().empty());
+}
+
+TEST(Validate, CatchesSpeedViolations) {
+  SimulationTrace trace = day_trace(1, 4);
+  trace.agents[0].positions[100] = Tile{0, 0};
+  trace.agents[0].positions[101] = Tile{50, 50};
+  EXPECT_THROW(trace.validate(), CheckError);
+}
+
+TEST(Validate, CatchesUnsortedCalls) {
+  SimulationTrace trace = day_trace(1, 4);
+  auto& calls = trace.agents[1].calls;
+  ASSERT_GE(calls.size(), 2u);
+  std::swap(calls[0], calls[1]);
+  EXPECT_THROW(trace.validate(), CheckError);
+}
+
+}  // namespace
+}  // namespace aimetro::trace

@@ -1,0 +1,285 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "world/grid_map.h"
+#include "world/pathfinding.h"
+#include "world/spatial_index.h"
+#include "world/world_state.h"
+
+namespace aimetro::world {
+namespace {
+
+TEST(GridMap, BoundsAndWalkability) {
+  GridMap map(10, 5);
+  EXPECT_TRUE(map.walkable(Tile{0, 0}));
+  EXPECT_TRUE(map.walkable(Tile{9, 4}));
+  EXPECT_FALSE(map.walkable(Tile{10, 0}));
+  EXPECT_FALSE(map.walkable(Tile{0, -1}));
+  map.set_walkable(Tile{3, 3}, false);
+  EXPECT_FALSE(map.walkable(Tile{3, 3}));
+  map.block_rect(Rect{0, 0, 2, 2});
+  EXPECT_FALSE(map.walkable(Tile{1, 1}));
+}
+
+TEST(GridMap, NeighborsRespectWalls) {
+  GridMap map(5, 5);
+  map.set_walkable(Tile{2, 1}, false);
+  const auto n = map.neighbors(Tile{2, 2});
+  EXPECT_EQ(n.size(), 3u);  // up blocked
+  const auto corner = map.neighbors(Tile{0, 0});
+  EXPECT_EQ(corner.size(), 2u);
+}
+
+TEST(GridMap, ArenasAndObjects) {
+  GridMap map(20, 20);
+  map.add_arena("cafe", Rect{2, 2, 6, 6});
+  map.add_object("machine", Tile{4, 4});
+  ASSERT_NE(map.arena("cafe"), nullptr);
+  EXPECT_EQ(map.arena("nope"), nullptr);
+  EXPECT_EQ(map.arena_at(Tile{3, 3})->name, "cafe");
+  EXPECT_EQ(map.arena_at(Tile{10, 10}), nullptr);
+  EXPECT_EQ(map.object("machine")->tile, (Tile{4, 4}));
+  EXPECT_THROW(map.add_arena("cafe", Rect{}), CheckError);
+}
+
+TEST(GridMap, SmallvilleLayout) {
+  const GridMap map = GridMap::smallville(25);
+  EXPECT_EQ(map.width(), 140);
+  EXPECT_EQ(map.height(), 100);
+  EXPECT_NE(map.arena("home_0"), nullptr);
+  EXPECT_NE(map.arena("home_24"), nullptr);
+  EXPECT_NE(map.arena("cafe"), nullptr);
+  EXPECT_NE(map.arena("park"), nullptr);
+  EXPECT_NE(map.object("bed_0"), nullptr);
+  EXPECT_NE(map.object("espresso_machine"), nullptr);
+}
+
+TEST(GridMap, SmallvilleHomesReachCafe) {
+  const GridMap map = GridMap::smallville(25);
+  for (int h : {0, 1, 12, 24}) {
+    const Tile bed = map.object("bed_" + std::to_string(h))->tile;
+    const Tile start = nearest_walkable(map, bed);
+    const Tile goal = nearest_walkable(map, map.arena("cafe")->rect.center());
+    EXPECT_FALSE(find_path(map, start, goal).empty()) << "home_" << h;
+  }
+}
+
+TEST(GridMap, ConcatenationOffsetsAndDividers) {
+  const GridMap seg = GridMap::smallville(4);
+  const GridMap big = GridMap::concatenate(seg, 3);
+  EXPECT_EQ(big.width(), (seg.width() + 1) * 3);
+  EXPECT_EQ(big.segment_stride(), seg.width() + 1);
+  ASSERT_NE(big.arena("seg0/cafe"), nullptr);
+  ASSERT_NE(big.arena("seg2/cafe"), nullptr);
+  EXPECT_EQ(big.arena("seg1/cafe")->rect.x0,
+            big.arena("seg0/cafe")->rect.x0 + seg.width() + 1);
+  // Dividers prevent cross-segment paths.
+  const Tile in_seg0 = nearest_walkable(big, big.arena("seg0/cafe")->rect.center());
+  const Tile in_seg1 = nearest_walkable(big, big.arena("seg1/cafe")->rect.center());
+  EXPECT_TRUE(find_path(big, in_seg0, in_seg1).empty());
+}
+
+TEST(SpatialIndex, InsertQueryRemove) {
+  SpatialIndex idx(4.0);
+  idx.insert(0, Pos{1, 1});
+  idx.insert(1, Pos{2, 2});
+  idx.insert(2, Pos{50, 50});
+  EXPECT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx.query_radius(Pos{0, 0}, 5.0),
+            (std::vector<AgentId>{0, 1}));
+  EXPECT_EQ(idx.query_radius(Pos{50, 50}, 0.5), (std::vector<AgentId>{2}));
+  idx.remove(1);
+  EXPECT_EQ(idx.query_radius(Pos{0, 0}, 5.0), (std::vector<AgentId>{0}));
+  idx.remove(1);  // no-op
+  EXPECT_EQ(idx.size(), 2u);
+}
+
+TEST(SpatialIndex, UpdateMovesAcrossCells) {
+  SpatialIndex idx(4.0);
+  idx.insert(7, Pos{0, 0});
+  idx.update(7, Pos{100, 100});
+  EXPECT_TRUE(idx.query_radius(Pos{0, 0}, 10.0).empty());
+  EXPECT_EQ(idx.query_radius(Pos{100, 100}, 1.0), (std::vector<AgentId>{7}));
+  EXPECT_EQ(idx.position(7), (Pos{100, 100}));
+  idx.update(42, Pos{5, 5});  // insert-or-move inserts
+  EXPECT_TRUE(idx.contains(42));
+}
+
+TEST(SpatialIndex, BoxQueryIsChebyshevBall) {
+  SpatialIndex idx(3.0);
+  idx.insert(0, Pos{0, 0});
+  idx.insert(1, Pos{4, 4});    // chebyshev 4, euclidean 5.66
+  idx.insert(2, Pos{5, 0});    // chebyshev 5
+  EXPECT_EQ(idx.query_box(Pos{0, 0}, 4.0), (std::vector<AgentId>{0, 1}));
+  EXPECT_EQ(idx.query_radius(Pos{0, 0}, 5.0), (std::vector<AgentId>{0, 2}));
+}
+
+TEST(Pathfinding, ShortestOnOpenGrid) {
+  GridMap map(20, 20);
+  const auto path = find_path(map, Tile{1, 1}, Tile{6, 4});
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.front(), (Tile{1, 1}));
+  EXPECT_EQ(path.back(), (Tile{6, 4}));
+  EXPECT_EQ(path.size(), 9u);  // manhattan distance 8 + start
+  // Each hop is a 4-neighbor move.
+  for (std::size_t i = 1; i < path.size(); ++i) {
+    EXPECT_EQ(std::abs(path[i].x - path[i - 1].x) +
+                  std::abs(path[i].y - path[i - 1].y),
+              1);
+  }
+}
+
+TEST(Pathfinding, RoutesAroundWalls) {
+  GridMap map(10, 10);
+  map.block_rect(Rect{5, 0, 5, 8});  // wall with gap at y=9
+  const auto path = find_path(map, Tile{2, 2}, Tile{8, 2});
+  ASSERT_FALSE(path.empty());
+  EXPECT_GT(path.size(), 7u);  // must detour
+  bool passes_gap = false;
+  for (const Tile& t : path) {
+    if (t.x == 5) {
+      EXPECT_EQ(t.y, 9);
+      passes_gap = true;
+    }
+  }
+  EXPECT_TRUE(passes_gap);
+}
+
+TEST(Pathfinding, UnreachableReturnsEmpty) {
+  GridMap map(10, 10);
+  map.block_rect(Rect{4, 0, 4, 9});
+  EXPECT_TRUE(find_path(map, Tile{0, 0}, Tile{9, 9}).empty());
+  EXPECT_EQ(find_path(map, Tile{2, 2}, Tile{2, 2}).size(), 1u);
+}
+
+TEST(Pathfinding, NearestWalkable) {
+  GridMap map(10, 10);
+  map.block_rect(Rect{3, 3, 5, 5});
+  EXPECT_EQ(nearest_walkable(map, Tile{7, 7}), (Tile{7, 7}));
+  const Tile near = nearest_walkable(map, Tile{4, 4});
+  EXPECT_TRUE(map.walkable(near));
+  EXPECT_LE(chebyshev(near.center(), Pos{4, 4}), 2.0);
+}
+
+class WorldStateTest : public ::testing::Test {
+ protected:
+  WorldStateTest() : map_(GridMap(20, 20)) {
+    map_.add_object("fountain", Tile{10, 10});
+  }
+  GridMap map_;
+};
+
+TEST_F(WorldStateTest, MoveCommitAndPerception) {
+  WorldState w(&map_, {Tile{1, 1}, Tile{3, 1}, Tile{15, 15}});
+  EXPECT_EQ(w.tile_of(0), (Tile{1, 1}));
+  std::vector<StepIntent> intents(1);
+  intents[0].agent = 0;
+  intents[0].move_to = Tile{2, 1};
+  const auto outcomes = w.resolve_conflict_and_commit(0, intents);
+  EXPECT_TRUE(outcomes[0].move_ok);
+  EXPECT_EQ(w.tile_of(0), (Tile{2, 1}));
+  EXPECT_EQ(w.agents_within(Pos{2, 1}, 2.0), (std::vector<AgentId>{0, 1}));
+}
+
+TEST_F(WorldStateTest, MoveConflictLowestIdWins) {
+  WorldState w(&map_, {Tile{1, 1}, Tile{3, 1}});
+  std::vector<StepIntent> intents(2);
+  intents[0].agent = 1;  // shuffled order: resolution must sort by id
+  intents[0].move_to = Tile{2, 1};
+  intents[1].agent = 0;
+  intents[1].move_to = Tile{2, 1};
+  const auto outcomes = w.resolve_conflict_and_commit(0, intents);
+  // outcomes are in id order after sorting
+  EXPECT_EQ(outcomes[0].agent, 0);
+  EXPECT_TRUE(outcomes[0].move_ok);
+  EXPECT_EQ(outcomes[1].agent, 1);
+  EXPECT_FALSE(outcomes[1].move_ok);
+  EXPECT_EQ(w.tile_of(0), (Tile{2, 1}));
+  EXPECT_EQ(w.tile_of(1), (Tile{3, 1}));
+}
+
+TEST_F(WorldStateTest, CannotMoveOntoStationaryAgent) {
+  WorldState w(&map_, {Tile{1, 1}, Tile{2, 1}});
+  std::vector<StepIntent> intents(1);
+  intents[0].agent = 0;
+  intents[0].move_to = Tile{2, 1};
+  const auto outcomes = w.resolve_conflict_and_commit(0, intents);
+  EXPECT_FALSE(outcomes[0].move_ok);
+}
+
+TEST_F(WorldStateTest, SwapAllowedWhenBothVacate) {
+  WorldState w(&map_, {Tile{1, 1}, Tile{2, 1}});
+  std::vector<StepIntent> intents(2);
+  intents[0].agent = 0;
+  intents[0].move_to = Tile{2, 1};
+  intents[1].agent = 1;
+  intents[1].move_to = Tile{1, 1};
+  const auto outcomes = w.resolve_conflict_and_commit(0, intents);
+  EXPECT_TRUE(outcomes[0].move_ok);
+  EXPECT_TRUE(outcomes[1].move_ok);
+  EXPECT_EQ(w.tile_of(0), (Tile{2, 1}));
+  EXPECT_EQ(w.tile_of(1), (Tile{1, 1}));
+}
+
+TEST_F(WorldStateTest, SpeedLimitEnforced) {
+  WorldState w(&map_, {Tile{1, 1}});
+  std::vector<StepIntent> intents(1);
+  intents[0].agent = 0;
+  intents[0].move_to = Tile{5, 5};  // too far for one step
+  const auto outcomes = w.resolve_conflict_and_commit(0, intents);
+  EXPECT_FALSE(outcomes[0].move_ok);
+  EXPECT_EQ(w.tile_of(0), (Tile{1, 1}));
+}
+
+TEST_F(WorldStateTest, ObjectClaimsAdjacencyAndContention) {
+  WorldState w(&map_, {Tile{10, 11}, Tile{11, 10}, Tile{1, 1}});
+  std::vector<StepIntent> intents(3);
+  for (int i = 0; i < 3; ++i) {
+    intents[static_cast<std::size_t>(i)].agent = i;
+    intents[static_cast<std::size_t>(i)].claim_object = "fountain";
+  }
+  const auto outcomes = w.resolve_conflict_and_commit(0, intents);
+  EXPECT_TRUE(outcomes[0].claim_ok);    // adjacent, lowest id
+  EXPECT_FALSE(outcomes[1].claim_ok);   // adjacent but lost
+  EXPECT_FALSE(outcomes[2].claim_ok);   // too far away
+  ASSERT_NE(w.object_holder("fountain"), nullptr);
+  EXPECT_EQ(*w.object_holder("fountain"), "agent_0");
+  // Held object rejects later claimers.
+  std::vector<StepIntent> again(1);
+  again[0].agent = 1;
+  again[0].claim_object = "fountain";
+  EXPECT_FALSE(w.resolve_conflict_and_commit(1, again)[0].claim_ok);
+}
+
+TEST_F(WorldStateTest, EventsFilteredAndSorted) {
+  WorldState w(&map_, {Tile{5, 5}, Tile{6, 5}, Tile{15, 15}});
+  std::vector<StepIntent> intents(3);
+  for (int i = 0; i < 3; ++i) {
+    intents[static_cast<std::size_t>(i)].agent = i;
+    intents[static_cast<std::size_t>(i)].emit_event =
+        "ev" + std::to_string(i);
+  }
+  w.resolve_conflict_and_commit(3, intents);
+  const auto near = w.events_near(Pos{5, 5}, 4.0, 3, 3);
+  ASSERT_EQ(near.size(), 2u);
+  EXPECT_EQ(near[0].source, 0);
+  EXPECT_EQ(near[1].source, 1);
+  EXPECT_TRUE(w.events_near(Pos{5, 5}, 4.0, 4, 9).empty());
+  EXPECT_EQ(w.event_count(), 3u);
+}
+
+TEST_F(WorldStateTest, StateHashDetectsDifferences) {
+  WorldState a(&map_, {Tile{1, 1}, Tile{2, 2}});
+  WorldState b(&map_, {Tile{1, 1}, Tile{2, 2}});
+  EXPECT_EQ(a.state_hash(), b.state_hash());
+  std::vector<StepIntent> intents(1);
+  intents[0].agent = 0;
+  intents[0].move_to = Tile{1, 2};
+  a.resolve_conflict_and_commit(0, intents);
+  EXPECT_NE(a.state_hash(), b.state_hash());
+  b.resolve_conflict_and_commit(0, intents);
+  EXPECT_EQ(a.state_hash(), b.state_hash());
+}
+
+}  // namespace
+}  // namespace aimetro::world
