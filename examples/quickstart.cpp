@@ -1,74 +1,30 @@
-// Quickstart: define LLM-driven agents, run them lock-step and then
-// out-of-order on the AI Metropolis engine, and verify both executions
-// produce the identical world — the core guarantee of the system.
+// Quickstart: run the registry's `quickstart_arena` scenario — live
+// LLM-driven agents executed lock-step and then out-of-order on the AI
+// Metropolis engine — and verify both executions produce the identical
+// world, the core guarantee of the system.
 //
 //   build/examples/quickstart
 #include <cstdio>
-#include <memory>
 
-#include "gym/agents.h"
-#include "gym/env.h"
-#include "llm/client.h"
-#include "world/grid_map.h"
+#include "scenario/driver.h"
+#include "scenario/registry.h"
 
 using namespace aimetro;
 
-namespace {
-
-gym::EnvConfig config(bool out_of_order) {
-  gym::EnvConfig cfg;
-  cfg.params = core::DependencyParams{/*radius_p=*/4.0, /*max_vel=*/1.0};
-  cfg.target_step = 120;
-  cfg.n_workers = 4;
-  cfg.out_of_order = out_of_order;
-  return cfg;
-}
-
-std::vector<std::unique_ptr<gym::Agent>> make_agents(int n) {
-  std::vector<std::unique_ptr<gym::Agent>> agents;
-  for (int i = 0; i < n; ++i) {
-    agents.push_back(
-        std::make_unique<gym::WandererAgent>(1000u + static_cast<unsigned>(i)));
-  }
-  return agents;
-}
-
-}  // namespace
-
 int main() {
-  // A small town square with one contended object.
-  world::GridMap map(40, 40);
-  map.add_object("fountain", Tile{20, 20});
-  std::vector<Tile> starts;
-  for (int i = 0; i < 10; ++i) {
-    starts.push_back(Tile{5 + (i % 5) * 7, 5 + (i / 5) * 14});
+  std::string error;
+  const auto spec = scenario::find_scenario("quickstart_arena", &error);
+  if (!spec) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
   }
+  std::printf("== AI Metropolis quickstart: %d LLM agents, %d steps ==\n\n",
+              spec->agents, spec->sim_steps());
 
-  std::printf("== AI Metropolis quickstart: 10 LLM agents, 120 steps ==\n\n");
+  const auto report = scenario::ScenarioDriver(*spec).run();
+  std::printf("%s", report.summary().c_str());
 
-  // 1) Lock-step baseline (Algorithm 1): one global barrier per step.
-  llm::FakeLlmClient llm_lockstep(/*seed=*/7);
-  gym::Env lockstep(&map, starts, make_agents(10), &llm_lockstep,
-                    config(/*out_of_order=*/false));
-  lockstep.run();
-  std::printf("lock-step   : %llu LLM calls, world hash %016llx\n",
-              static_cast<unsigned long long>(llm_lockstep.calls()),
-              static_cast<unsigned long long>(lockstep.state_hash()));
-
-  // 2) Out-of-order (Algorithm 3): the dependency scoreboard lets distant
-  //    agents advance independently; coupled neighbours move as clusters.
-  llm::FakeLlmClient llm_ooo(/*seed=*/7, /*latency_us=*/300);
-  gym::Env metropolis(&map, starts, make_agents(10), &llm_ooo,
-                      config(/*out_of_order=*/true));
-  const auto stats = metropolis.run();
-  std::printf("metropolis  : %llu LLM calls, world hash %016llx\n",
-              static_cast<unsigned long long>(llm_ooo.calls()),
-              static_cast<unsigned long long>(metropolis.state_hash()));
-  std::printf("              %llu clusters executed, %llu agent-steps\n",
-              static_cast<unsigned long long>(stats.clusters_executed),
-              static_cast<unsigned long long>(stats.agent_steps));
-
-  if (lockstep.state_hash() == metropolis.state_hash()) {
+  if (report.world_hash_serial == report.world_hash_metro) {
     std::printf(
         "\nOK: out-of-order execution reproduced the lock-step world "
         "exactly.\n");

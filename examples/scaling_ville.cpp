@@ -1,14 +1,15 @@
-// Scaling demo: concatenate SmallVilles into a large ville (the paper's
-// §4.3 construction), replay the busy hour under parallel-sync and
-// metropolis on a simulated 8x L4 cluster, and watch the OOO speedup grow
-// with the agent count.
+// Scaling demo: run the registry's parameterized `scaling_ville<N>`
+// scenarios (the paper's §4.3 large-ville construction) and watch the OOO
+// speedup grow with the agent count.
 //
 //   build/examples/scaling_ville [max_segments=8]
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
-#include "replay/experiment.h"
-#include "trace/generator.h"
+#include "common/strings.h"
+#include "scenario/driver.h"
+#include "scenario/registry.h"
 
 using namespace aimetro;
 
@@ -16,26 +17,20 @@ int main(int argc, char** argv) {
   const int max_segments = argc > 1 ? std::atoi(argv[1]) : 8;
   std::printf("agents\tsync(s)\tmetro(s)\tspeedup\tmetro-parallelism\n");
   for (int segments = 1; segments <= max_segments; segments *= 2) {
-    trace::GeneratorConfig gen;
-    gen.n_agents = 25;
-    gen.seed = 42;
-    const auto ville = trace::generate_large_ville(segments, gen);
-    const auto busy = trace::slice(ville, 4320, 4680);
-
-    replay::ExperimentConfig cfg;
-    cfg.model = llm::ModelSpec::llama3_8b();
-    cfg.gpu = llm::GpuSpec::l4();
-    cfg.parallelism = llm::ParallelismConfig{1, 8};
-
-    cfg.mode = replay::Mode::kParallelSync;
-    const auto sync = replay::run_experiment(busy, cfg);
-    cfg.mode = replay::Mode::kMetropolis;
-    const auto metro = replay::run_experiment(busy, cfg);
-
-    std::printf("%d\t%.0f\t%.0f\t%.2fx\t%.1f\n", segments * 25,
-                sync.completion_seconds, metro.completion_seconds,
-                sync.completion_seconds / metro.completion_seconds,
-                metro.avg_parallelism);
+    std::string error;
+    const auto spec = scenario::find_scenario(
+        strformat("scaling_ville%d", segments), &error);
+    if (!spec) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
+    // Skip the single-thread reference replay: this sweep compares
+    // parallel-sync against metropolis only.
+    const auto report =
+        scenario::ScenarioDriver(*spec).run(/*serial_baseline=*/false);
+    std::printf("%d\t%.0f\t%.0f\t%.2fx\t%.1f\n", report.agents,
+                report.sync_seconds, report.metro_seconds,
+                report.speedup_vs_sync, report.avg_parallelism);
   }
   return 0;
 }

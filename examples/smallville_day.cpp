@@ -1,27 +1,35 @@
-// SmallVille day: generate the GenAgent-style workload (25 agents, one
-// simulated day on the 140x100 town), inspect its statistics, and replay
-// it under every scheduling setting on a simulated 4x L4 serving cluster —
-// the experiment of the paper's §4.2 in one executable.
+// SmallVille day: the registry's `smallville_day` scenario — generate the
+// GenAgent-style workload, inspect its statistics, and replay the busy
+// hour under every scheduling setting on the spec's serving platform (the
+// experiment of the paper's §4.2 in one executable).
 //
 //   build/examples/smallville_day [trace-out.bin]
 #include <cstdio>
 #include <string>
 
 #include "replay/experiment.h"
-#include "trace/generator.h"
+#include "scenario/driver.h"
+#include "scenario/registry.h"
+#include "trace/schema.h"
 #include "trace/serialize.h"
 #include "trace/stats.h"
-#include "world/grid_map.h"
 
 using namespace aimetro;
 
 int main(int argc, char** argv) {
-  std::printf("== Generating one SmallVille day (25 agents) ==\n");
-  const auto map = world::GridMap::smallville(25);
-  trace::GeneratorConfig gen;
-  gen.n_agents = 25;
-  gen.seed = 42;
-  const auto day = trace::generate(map, gen);
+  std::string error;
+  const auto spec = scenario::find_scenario("smallville_day", &error);
+  if (!spec) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
+  }
+
+  std::printf("== Generating one SmallVille day (%d agents) ==\n",
+              spec->agents);
+  scenario::ScenarioSpec full_day = *spec;
+  full_day.window_begin = full_day.window_end = -1;  // whole day, for stats
+  const scenario::ScenarioDriver driver(full_day);
+  const auto day = driver.build_trace();
   const auto stats = trace::compute_stats(day);
   std::printf("%s\n", stats.to_string().c_str());
 
@@ -30,18 +38,18 @@ int main(int argc, char** argv) {
     std::printf("trace written to %s\n\n", argv[1]);
   }
 
-  std::printf("== Replaying the busy hour (12-1pm) on 4x L4, Llama-3-8B ==\n");
-  const auto busy = trace::slice(day, 4320, 4680);
+  std::printf("== Replaying the busy hour (12-1pm) on %dx %s, %s ==\n",
+              spec->data_parallel * spec->tensor_parallel, spec->gpu.c_str(),
+              spec->model.c_str());
+  const auto busy =
+      trace::slice(day, spec->window_begin, spec->window_end);
+  replay::ExperimentConfig cfg = driver.experiment_config();
   double sync_time = 0.0;
   for (replay::Mode mode :
        {replay::Mode::kSingleThread, replay::Mode::kParallelSync,
         replay::Mode::kMetropolis, replay::Mode::kOracle,
         replay::Mode::kNoDependency, replay::Mode::kCritical}) {
-    replay::ExperimentConfig cfg;
     cfg.mode = mode;
-    cfg.model = llm::ModelSpec::llama3_8b();
-    cfg.gpu = llm::GpuSpec::l4();
-    cfg.parallelism = llm::ParallelismConfig{1, 4};
     const auto result = replay::run_experiment(busy, cfg);
     std::printf("%s", result.summary().c_str());
     if (mode == replay::Mode::kParallelSync) {

@@ -1,6 +1,28 @@
 #include "llm/specs.h"
 
+#include <algorithm>
+#include <cctype>
+
 namespace aimetro::llm {
+
+namespace {
+
+/// Lowercase and fold '_', ' ', '.' to '-' so "Llama_3 8B" == "llama-3-8b".
+std::string normalize(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (c == '_' || c == ' ' || c == '.') {
+      out.push_back('-');
+    } else {
+      out.push_back(
+          static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  return out;
+}
+
+}  // namespace
 
 ModelSpec ModelSpec::llama3_8b() {
   ModelSpec m;
@@ -53,6 +75,42 @@ GpuSpec GpuSpec::a100_80gb() {
   g.mem_bw_gbps = 2039.0;
   g.hbm_gb = 80.0;
   return g;
+}
+
+std::optional<ModelSpec> find_model(const std::string& name) {
+  const std::string n = normalize(name);
+  for (const ModelSpec& m :
+       {ModelSpec::llama3_8b(), ModelSpec::llama3_70b(),
+        ModelSpec::mixtral_8x7b()}) {
+    if (n == normalize(m.name)) return m;
+  }
+  if (n == "llama3-8b" || n == "llama-3-8b" || n == "8b") {
+    return ModelSpec::llama3_8b();
+  }
+  if (n == "llama3-70b" || n == "llama-3-70b" || n == "70b") {
+    return ModelSpec::llama3_70b();
+  }
+  if (n == "mixtral-8x7b" || n == "mixtral") return ModelSpec::mixtral_8x7b();
+  return std::nullopt;
+}
+
+std::optional<GpuSpec> find_gpu(const std::string& name) {
+  const std::string n = normalize(name);
+  if (n == normalize(GpuSpec::l4().name) || n == "l4") return GpuSpec::l4();
+  if (n == normalize(GpuSpec::a100_80gb().name) || n == "a100-80gb" ||
+      n == "a100") {
+    return GpuSpec::a100_80gb();
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> known_model_names() {
+  return {ModelSpec::llama3_8b().name, ModelSpec::llama3_70b().name,
+          ModelSpec::mixtral_8x7b().name};
+}
+
+std::vector<std::string> known_gpu_names() {
+  return {GpuSpec::l4().name, GpuSpec::a100_80gb().name};
 }
 
 }  // namespace aimetro::llm

@@ -6,7 +6,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
 namespace aimetro::llm {
 
@@ -41,6 +43,17 @@ struct GpuSpec {
   static GpuSpec l4();
   static GpuSpec a100_80gb();
 };
+
+/// Resolve a model by name. Matching is case-insensitive and treats '_',
+/// ' ', and '.' as '-'; common short aliases ("llama3-8b", "8b",
+/// "mixtral") resolve to the full preset. nullopt for unknown names —
+/// callers must surface a clear error rather than fall back to a default.
+std::optional<ModelSpec> find_model(const std::string& name);
+std::optional<GpuSpec> find_gpu(const std::string& name);
+
+/// Canonical names of every known preset (for error messages / --list).
+std::vector<std::string> known_model_names();
+std::vector<std::string> known_gpu_names();
 
 /// How a model is mapped onto GPUs: `data_parallel` independent replicas,
 /// each spanning `tensor_parallel` GPUs.

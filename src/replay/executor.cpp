@@ -131,6 +131,10 @@ class Executor {
     if (scoreboard_) {
       r.scoreboard = scoreboard_->stats();
       r.mean_blockers = scoreboard_->mean_blockers();
+      for (AgentId a = 0; a < trace_.n_agents; ++a) {
+        r.final_agent_states.emplace_back(scoreboard_->step_of(a),
+                                          scoreboard_->pos_of(a));
+      }
     }
     r.gantt = std::move(gantt_);
     r.step_completion_times = std::move(step_marks_);

@@ -69,6 +69,10 @@ struct ExperimentResult {
   // Metropolis-only scheduler statistics.
   core::ScoreboardStats scoreboard;
   double mean_blockers = 0.0;
+  /// Per-agent (step, position) at completion, indexed by AgentId —
+  /// the final scoreboard state (Metropolis mode only). Lets callers check
+  /// that independent executions of one workload converged to one state.
+  std::vector<std::pair<Step, Pos>> final_agent_states;
   std::vector<GanttRecord> gantt;
   std::vector<SimTime> step_completion_times;  // lock-step modes only
 

@@ -1,0 +1,422 @@
+#include "scenario/driver.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <memory>
+#include <shared_mutex>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/strings.h"
+#include "gym/agents.h"
+#include "gym/env.h"
+#include "llm/client.h"
+#include "llm/specs.h"
+#include "runtime/engine.h"
+#include "trace/generator.h"
+#include "world/world_state.h"
+
+namespace aimetro::scenario {
+
+namespace {
+
+/// Order-sensitive digest over agent-indexed (step, position) states.
+/// Positions are tile centers, so quantizing by 4 is exact.
+std::uint64_t digest_states(const std::vector<std::pair<Step, Pos>>& states) {
+  std::uint64_t h = 0xA13E7205C0FFEE01ULL;
+  for (const auto& [step, pos] : states) {
+    std::uint64_t v = splitmix64(static_cast<std::uint64_t>(
+        static_cast<std::uint32_t>(step)));
+    v = splitmix64(v ^ static_cast<std::uint64_t>(
+                           std::llround(pos.x * 4.0) + (1LL << 30)));
+    v = splitmix64(v ^ static_cast<std::uint64_t>(
+                           std::llround(pos.y * 4.0) + (1LL << 30)));
+    h = splitmix64(h ^ v) + 0x9e3779b97f4a7c15ULL;
+  }
+  return h;
+}
+
+trace::GeneratorConfig generator_config(const ScenarioSpec& spec) {
+  trace::GeneratorConfig cfg;
+  cfg.n_agents = spec.agents / spec.segments;
+  cfg.steps_per_day = spec.steps_per_day;
+  cfg.seed = spec.seed;
+  cfg.radius_p = spec.radius_p;
+  cfg.max_vel = spec.max_vel;
+  cfg.target_calls_per_25_agents = 56700.0 * spec.calls_scale;
+  const auto profile = trace::BehaviorProfile::find(spec.profile);
+  AIM_CHECK_MSG(profile.has_value(), "unknown profile " << spec.profile);
+  cfg.profile = *profile;
+  cfg.profile.conversation_start_prob = std::min(
+      1.0, cfg.profile.conversation_start_prob * spec.conversation_scale);
+  return cfg;
+}
+
+world::GridMap segment_map(const ScenarioSpec& spec) {
+  switch (spec.map) {
+    case MapKind::kSmallville:
+      return world::GridMap::smallville(spec.homes);
+    case MapKind::kPlaza:
+      return world::GridMap::plaza(spec.homes);
+    case MapKind::kUrbanGrid:
+      return world::GridMap::urban_grid(spec.districts, spec.homes);
+    case MapKind::kArena:
+      return world::GridMap::arena(spec.map_width, spec.map_height);
+  }
+  AIM_CHECK_MSG(false, "unreachable map kind");
+  return world::GridMap(1, 1);
+}
+
+double wall_seconds_since(
+    const std::chrono::steady_clock::time_point& start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+std::int32_t sign(std::int32_t d) { return d > 0 ? 1 : (d < 0 ? -1 : 0); }
+
+/// One 4-neighbor step from `from` toward `to` (axis with the larger gap
+/// first, falling back to the other axis when that tile is unwalkable).
+/// Single-axis moves keep Euclidean displacement <= max_vel = 1, which the
+/// dependency scoreboard enforces at commit.
+Tile step_toward(const world::GridMap& map, Tile from, Tile to) {
+  const std::int32_t dx = to.x - from.x;
+  const std::int32_t dy = to.y - from.y;
+  const Tile via_x{from.x + sign(dx), from.y};
+  const Tile via_y{from.x, from.y + sign(dy)};
+  const Tile first = std::abs(dx) >= std::abs(dy) ? via_x : via_y;
+  const Tile second = std::abs(dx) >= std::abs(dy) ? via_y : via_x;
+  if (!(first == from) && map.walkable(first)) return first;
+  if (!(second == from) && map.walkable(second)) return second;
+  return from;
+}
+
+}  // namespace
+
+std::string ScenarioReport::summary() const {
+  std::string out = strformat(
+      "== scenario '%s' [%s backend] ==\n"
+      "agents=%d  steps=%d  llm-calls=%llu  agent-steps=%llu\n",
+      scenario.c_str(), backend_name(backend), agents, steps,
+      static_cast<unsigned long long>(total_calls),
+      static_cast<unsigned long long>(agent_steps));
+  const char* unit = backend == Backend::kDes ? "s (virtual)" : "s (wall)";
+  // DES: one global cursor. Engine: 1 worker (trace maps) or lock-step
+  // (arena maps) — the pre-metropolis baseline either way.
+  out += strformat("baseline    %10.2f%s\n", serial_seconds, unit);
+  if (backend == Backend::kDes) {
+    out += strformat("sync        %10.2f%s\n", sync_seconds, unit);
+  }
+  out += strformat("metropolis  %10.2f%s   (%.2fx vs serial", metro_seconds,
+                   unit, speedup_vs_serial);
+  if (backend == Backend::kDes) {
+    out += strformat(", %.2fx vs sync", speedup_vs_sync);
+  }
+  out += ")\n";
+  if (backend == Backend::kDes) {
+    out += strformat("parallelism=%.2f  ", avg_parallelism);
+  }
+  out += strformat(
+      "mean-cluster=%.2f  mean-blockers=%.2f  clusters=%llu\n",
+      mean_cluster_size, mean_blockers,
+      static_cast<unsigned long long>(clusters_dispatched));
+  out += strformat("scoreboard-digest=%016llx\n",
+                   static_cast<unsigned long long>(scoreboard_digest));
+  if (world_hash_serial != 0 && world_hash_metro != 0) {
+    out += strformat(
+        "world-hash  serial=%016llx  metropolis=%016llx  %s\n",
+        static_cast<unsigned long long>(world_hash_serial),
+        static_cast<unsigned long long>(world_hash_metro),
+        world_hash_serial == world_hash_metro ? "(identical: OK)"
+                                              : "(DIVERGED!)");
+  }
+  return out;
+}
+
+ScenarioDriver::ScenarioDriver(ScenarioSpec spec) : spec_(std::move(spec)) {
+  const std::string error = validate_spec(spec_);
+  AIM_CHECK_MSG(error.empty(), "invalid scenario '" << spec_.name
+                                                    << "': " << error);
+}
+
+world::GridMap ScenarioDriver::build_map() const {
+  world::GridMap segment = segment_map(spec_);
+  if (spec_.segments > 1) {
+    return world::GridMap::concatenate(segment, spec_.segments,
+                                       /*divider=*/true);
+  }
+  return segment;
+}
+
+trace::SimulationTrace ScenarioDriver::build_trace() const {
+  AIM_CHECK_MSG(spec_.map != MapKind::kArena,
+                "arena maps have no generated trace");
+  const world::GridMap segment = segment_map(spec_);
+  const trace::GeneratorConfig cfg = generator_config(spec_);
+  trace::SimulationTrace full =
+      trace::generate_concatenated(segment, spec_.segments, cfg);
+  if (spec_.window_begin >= 0) {
+    return trace::slice(full, spec_.window_begin, spec_.window_end);
+  }
+  return full;
+}
+
+replay::ExperimentConfig ScenarioDriver::experiment_config() const {
+  replay::ExperimentConfig cfg;
+  const auto model = llm::find_model(spec_.model);
+  const auto gpu = llm::find_gpu(spec_.gpu);
+  AIM_CHECK_MSG(model.has_value(), "unknown model " << spec_.model);
+  AIM_CHECK_MSG(gpu.has_value(), "unknown GPU " << spec_.gpu);
+  cfg.model = *model;
+  cfg.gpu = *gpu;
+  cfg.parallelism =
+      llm::ParallelismConfig{spec_.tensor_parallel, spec_.data_parallel};
+  return cfg;
+}
+
+ScenarioReport ScenarioDriver::run(bool serial_baseline) const {
+  switch (spec_.backend) {
+    case Backend::kDes:
+      return run_des(serial_baseline);
+    case Backend::kEngine:
+      return spec_.map == MapKind::kArena
+                 ? run_engine_gym(serial_baseline)
+                 : run_engine_trace(serial_baseline);
+  }
+  AIM_CHECK_MSG(false, "unreachable backend");
+  return ScenarioReport{};
+}
+
+ScenarioReport ScenarioDriver::run_des(bool serial_baseline) const {
+  const trace::SimulationTrace tr = build_trace();
+  replay::ExperimentConfig cfg = experiment_config();
+
+  replay::ExperimentResult serial;
+  if (serial_baseline) {
+    cfg.mode = replay::Mode::kSingleThread;
+    serial = replay::run_experiment(tr, cfg);
+  }
+  cfg.mode = replay::Mode::kParallelSync;
+  const auto sync = replay::run_experiment(tr, cfg);
+  cfg.mode = replay::Mode::kMetropolis;
+  const auto metro = replay::run_experiment(tr, cfg);
+
+  ScenarioReport r;
+  r.scenario = spec_.name;
+  r.backend = Backend::kDes;
+  r.agents = tr.n_agents;
+  r.steps = tr.n_steps;
+  r.total_calls = metro.total_calls;
+  r.agent_steps = static_cast<std::uint64_t>(
+      std::llround(metro.scoreboard.sum_cluster_sizes));
+  r.serial_seconds = serial.completion_seconds;
+  r.sync_seconds = sync.completion_seconds;
+  r.metro_seconds = metro.completion_seconds;
+  if (r.metro_seconds > 0.0) {
+    if (serial_baseline) {
+      r.speedup_vs_serial = r.serial_seconds / r.metro_seconds;
+    }
+    r.speedup_vs_sync = r.sync_seconds / r.metro_seconds;
+  }
+  r.avg_parallelism = metro.avg_parallelism;
+  r.mean_cluster_size = metro.scoreboard.mean_cluster_size();
+  r.mean_blockers = metro.mean_blockers;
+  r.clusters_dispatched = metro.scoreboard.clusters_dispatched;
+  r.scoreboard_digest = digest_states(metro.final_agent_states);
+  return r;
+}
+
+ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
+  const world::GridMap map = build_map();
+  const trace::SimulationTrace tr = build_trace();
+
+  std::vector<trace::StepCalls> chains(
+      static_cast<std::size_t>(tr.n_agents));
+  for (std::size_t i = 0; i < chains.size(); ++i) {
+    chains[i] = trace::group_calls_by_step(tr.agents[i]);
+  }
+
+  struct RunOutcome {
+    double wall_seconds = 0.0;
+    runtime::EngineStats stats;
+    std::uint64_t calls = 0;
+    std::uint64_t digest = 0;
+    std::uint64_t world_hash = 0;
+    core::ScoreboardStats scoreboard;
+    double mean_blockers = 0.0;
+  };
+
+  // Replay the generated trace through the live threaded engine: movement
+  // follows the trace (one step toward the trace position, so a move lost
+  // to a conflict just lags and retries), and every traced LLM call is
+  // issued through the blocking client shim from the worker threads.
+  auto run_once = [&](std::int32_t workers) {
+    llm::FakeLlmClient client(spec_.seed, spec_.call_latency_us);
+    std::vector<Tile> starts;
+    starts.reserve(static_cast<std::size_t>(tr.n_agents));
+    for (AgentId a = 0; a < tr.n_agents; ++a) {
+      starts.push_back(tr.position_at(a, tr.start_step));
+    }
+    world::WorldState world(&map, std::move(starts));
+
+    runtime::EngineConfig ecfg;
+    ecfg.params = core::DependencyParams{spec_.radius_p, spec_.max_vel};
+    ecfg.target_step = tr.n_steps;
+    ecfg.n_workers = workers;
+    ecfg.kv_instrumentation = false;
+
+    auto step_fn = [&](const core::AgentCluster& cluster,
+                       const world::WorldState& w) {
+      std::vector<world::StepIntent> intents;
+      intents.reserve(cluster.members.size());
+      const Step abs_step = tr.start_step + cluster.step;
+      for (AgentId m : cluster.members) {
+        const auto& by_step = chains[static_cast<std::size_t>(m)];
+        if (auto it = by_step.find(abs_step); it != by_step.end()) {
+          for (const trace::LlmCall* call : it->second) {
+            llm::CompletionRequest req;
+            req.prompt = strformat("agent=%d step=%d type=%s", m, abs_step,
+                                   trace::call_type_name(call->type));
+            req.max_tokens = call->output_tokens;
+            req.priority = abs_step;
+            client.complete(req);
+          }
+        }
+        Tile current;
+        {
+          std::shared_lock<std::shared_mutex> lock(w.mutex());
+          current = w.tile_of(m);
+        }
+        const Tile want = tr.position_at(m, abs_step + 1);
+        const Tile next = step_toward(map, current, want);
+        world::StepIntent intent;
+        intent.agent = m;
+        if (!(next == current)) intent.move_to = next;
+        intents.push_back(intent);
+      }
+      return intents;
+    };
+
+    RunOutcome out;
+    runtime::Engine engine(&world, ecfg, step_fn);
+    const auto start = std::chrono::steady_clock::now();
+    out.stats = engine.run();
+    out.wall_seconds = wall_seconds_since(start);
+    out.calls = client.calls();
+    AIM_CHECK(engine.scoreboard().all_done());
+    std::vector<std::pair<Step, Pos>> states;
+    for (AgentId a = 0; a < tr.n_agents; ++a) {
+      states.emplace_back(engine.scoreboard().step_of(a),
+                          engine.scoreboard().pos_of(a));
+    }
+    out.digest = digest_states(states);
+    out.world_hash = world.state_hash();
+    out.scoreboard = engine.scoreboard().stats();
+    out.mean_blockers = engine.scoreboard().mean_blockers();
+    return out;
+  };
+
+  const RunOutcome serial = serial_baseline ? run_once(1) : RunOutcome{};
+  const RunOutcome metro = run_once(spec_.workers);
+
+  ScenarioReport r;
+  r.scenario = spec_.name;
+  r.backend = Backend::kEngine;
+  r.agents = tr.n_agents;
+  r.steps = tr.n_steps;
+  r.total_calls = metro.calls;
+  r.agent_steps = metro.stats.agent_steps;
+  r.serial_seconds = serial.wall_seconds;
+  r.metro_seconds = metro.wall_seconds;
+  if (serial_baseline && r.metro_seconds > 0.0) {
+    r.speedup_vs_serial = r.serial_seconds / r.metro_seconds;
+  }
+  r.mean_cluster_size = metro.scoreboard.mean_cluster_size();
+  r.mean_blockers = metro.mean_blockers;
+  r.clusters_dispatched = metro.scoreboard.clusters_dispatched;
+  r.scoreboard_digest = metro.digest;
+  r.world_hash_serial = serial.world_hash;
+  r.world_hash_metro = metro.world_hash;
+  return r;
+}
+
+ScenarioReport ScenarioDriver::run_engine_gym(bool serial_baseline) const {
+  const world::GridMap map = build_map();
+  const std::int32_t n = spec_.agents;
+
+  // Spread starts over a grid with margins.
+  const std::int32_t cols = std::max<std::int32_t>(
+      1, static_cast<std::int32_t>(std::ceil(std::sqrt(n))));
+  const std::int32_t rows = (n + cols - 1) / cols;
+  const std::int32_t dx = std::max<std::int32_t>(1, (map.width() - 6) / cols);
+  const std::int32_t dy = std::max<std::int32_t>(1, (map.height() - 6) / rows);
+  std::vector<Tile> starts;
+  for (std::int32_t i = 0; i < n; ++i) {
+    starts.push_back(Tile{std::min(map.width() - 1, 3 + (i % cols) * dx),
+                          std::min(map.height() - 1, 3 + (i / cols) * dy)});
+  }
+
+  auto make_agents = [&] {
+    std::vector<std::unique_ptr<gym::Agent>> agents;
+    for (std::int32_t i = 0; i < n; ++i) {
+      agents.push_back(std::make_unique<gym::WandererAgent>(
+          spec_.seed + static_cast<std::uint64_t>(i) * 1000));
+    }
+    return agents;
+  };
+
+  gym::EnvConfig cfg;
+  cfg.params = core::DependencyParams{spec_.radius_p, spec_.max_vel};
+  cfg.target_step = spec_.sim_steps();
+  cfg.n_workers = spec_.workers;
+
+  // Baseline: lock-step execution (Algorithm 1), same LLM latency.
+  double serial_secs = 0.0;
+  std::uint64_t serial_hash = 0;
+  if (serial_baseline) {
+    cfg.out_of_order = false;
+    llm::FakeLlmClient llm_serial(spec_.seed, spec_.call_latency_us);
+    gym::Env lockstep(&map, starts, make_agents(), &llm_serial, cfg);
+    const auto serial_start = std::chrono::steady_clock::now();
+    lockstep.run();
+    serial_secs = wall_seconds_since(serial_start);
+    serial_hash = lockstep.state_hash();
+  }
+
+  // Out-of-order on the AI Metropolis engine (Algorithm 3).
+  cfg.out_of_order = true;
+  llm::FakeLlmClient llm_metro(spec_.seed, spec_.call_latency_us);
+  gym::Env metro(&map, starts, make_agents(), &llm_metro, cfg);
+  const auto metro_start = std::chrono::steady_clock::now();
+  const auto metro_stats = metro.run();
+  const double metro_secs = wall_seconds_since(metro_start);
+
+  ScenarioReport r;
+  r.scenario = spec_.name;
+  r.backend = Backend::kEngine;
+  r.agents = n;
+  r.steps = spec_.sim_steps();
+  r.total_calls = llm_metro.calls();
+  r.agent_steps = metro_stats.agent_steps;
+  r.serial_seconds = serial_secs;
+  r.metro_seconds = metro_secs;
+  if (serial_baseline && metro_secs > 0.0) {
+    r.speedup_vs_serial = serial_secs / metro_secs;
+  }
+  r.clusters_dispatched = metro_stats.clusters_executed;
+  r.mean_cluster_size =
+      metro_stats.clusters_executed > 0
+          ? static_cast<double>(metro_stats.agent_steps) /
+                static_cast<double>(metro_stats.clusters_executed)
+          : 0.0;
+  r.world_hash_serial = serial_hash;
+  r.world_hash_metro = metro.state_hash();
+  r.scoreboard_digest = r.world_hash_metro;
+  return r;
+}
+
+}  // namespace aimetro::scenario

@@ -1,0 +1,97 @@
+// The unified scenario runner.
+//
+// ScenarioDriver turns a ScenarioSpec into a running simulation on either
+// execution backend behind one interface:
+//
+//   - DES backend: generate the scenario's trace, then replay it in
+//     virtual time on the discrete-event serving simulator under
+//     single-thread, parallel-sync, and metropolis scheduling — the
+//     paper's evaluation pipeline, with cost-model GPUs.
+//   - Engine backend: run the workload on the live threaded
+//     runtime::Engine in wall-clock time. Trace-bearing maps replay the
+//     same generated trace through the engine's scoreboard (so both
+//     backends execute the identical workload); arena maps run live
+//     LLM-driven gym agents lock-step and out-of-order instead.
+//
+// Either way the result is one ScenarioReport — speedup over serial,
+// achieved parallelism, mean cluster size, mean blockers — so scheduler
+// behavior is comparable across scenarios and backends.
+#pragma once
+
+#include <string>
+
+#include "replay/experiment.h"
+#include "scenario/spec.h"
+#include "trace/schema.h"
+#include "world/grid_map.h"
+
+namespace aimetro::scenario {
+
+struct ScenarioReport {
+  std::string scenario;
+  Backend backend = Backend::kDes;
+  std::int32_t agents = 0;
+  Step steps = 0;
+  std::uint64_t total_calls = 0;
+  std::uint64_t agent_steps = 0;  // committed (agent, step) pairs
+
+  /// Completion times in seconds: virtual for the DES backend, wall-clock
+  /// for the engine backend. `sync_seconds` is DES-only (lock-step with a
+  /// global barrier); serial is one global cursor / one worker.
+  double serial_seconds = 0.0;
+  double sync_seconds = 0.0;
+  double metro_seconds = 0.0;
+  double speedup_vs_serial = 0.0;
+  double speedup_vs_sync = 0.0;
+
+  /// Scheduler behavior (metropolis run).
+  double avg_parallelism = 0.0;  // DES: time-averaged outstanding requests
+  double mean_cluster_size = 0.0;
+  double mean_blockers = 0.0;
+  std::uint64_t clusters_dispatched = 0;
+
+  /// Order-insensitive hash of the final per-agent (step, position)
+  /// scoreboard state. Two backends that executed the same workload to the
+  /// same final state produce the same digest.
+  std::uint64_t scoreboard_digest = 0;
+
+  /// Engine/gym runs only: world hashes of the serial and OOO executions;
+  /// equality is the paper's correctness guarantee.
+  std::uint64_t world_hash_serial = 0;
+  std::uint64_t world_hash_metro = 0;
+
+  std::string summary() const;
+};
+
+class ScenarioDriver {
+ public:
+  /// Throws CheckError (with the validate_spec message) on invalid specs.
+  explicit ScenarioDriver(ScenarioSpec spec);
+
+  const ScenarioSpec& spec() const { return spec_; }
+
+  /// The full world for this spec (segments already concatenated).
+  world::GridMap build_map() const;
+
+  /// The scenario's generated workload trace, windowed per the spec.
+  /// Check-fails for arena maps (no routine venues to generate from).
+  trace::SimulationTrace build_trace() const;
+
+  /// The DES experiment cell this spec describes (model/GPU resolved,
+  /// parallelism applied) — for callers sweeping modes themselves.
+  replay::ExperimentConfig experiment_config() const;
+
+  /// Run on the spec's backend and report. `serial_baseline = false`
+  /// skips the serial/lock-step reference run (halving the cost) when the
+  /// caller only needs the sync/metropolis comparison.
+  ScenarioReport run(bool serial_baseline = true) const;
+
+ private:
+  ScenarioReport run_des(bool serial_baseline) const;
+  ScenarioReport run_engine_trace(bool serial_baseline) const;
+  ScenarioReport run_engine_gym(bool serial_baseline) const;
+
+  ScenarioSpec spec_;
+};
+
+}  // namespace aimetro::scenario

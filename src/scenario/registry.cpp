@@ -1,0 +1,178 @@
+#include "scenario/registry.h"
+
+#include <charconv>
+
+#include "common/strings.h"
+
+namespace aimetro::scenario {
+
+namespace {
+
+// Canonical trace windows (steps; 10 simulated seconds per step).
+constexpr Step kBusyBegin = 4320;   // 12:00
+constexpr Step kBusyEnd = 4680;     // 13:00
+constexpr Step kRushBegin = 2700;   // 07:30
+constexpr Step kRushEnd = 3060;     // 08:30
+constexpr Step kEveningBegin = 6480;  // 18:00
+constexpr Step kEveningEnd = 6840;    // 19:00
+
+ScenarioSpec smallville_day() {
+  ScenarioSpec s;
+  s.name = "smallville_day";
+  s.description =
+      "The paper's calibrated Generative-Agents day: 25 townsfolk on the "
+      "140x100 SmallVille, busy-hour replay on 4x L4 / Llama-3-8B (#4.2)";
+  s.map = MapKind::kSmallville;
+  s.homes = 25;
+  s.agents = 25;
+  s.profile = "townsfolk";
+  s.window_begin = kBusyBegin;
+  s.window_end = kBusyEnd;
+  s.backend = Backend::kDes;
+  s.model = "llama-3-8b-instruct";
+  s.gpu = "l4";
+  s.tensor_parallel = 1;
+  s.data_parallel = 4;
+  return s;
+}
+
+ScenarioSpec social_hub() {
+  ScenarioSpec s;
+  s.name = "social_hub";
+  s.description =
+      "40 socialites on an 80x80 plaza town: Zipf-skewed venue choice "
+      "concentrates evenings on one hub, producing a power-law contact "
+      "graph and large coupled clusters (evening-hour replay)";
+  s.map = MapKind::kPlaza;
+  s.homes = 14;
+  s.agents = 40;
+  s.profile = "socialite";
+  s.window_begin = kEveningBegin;
+  s.window_end = kEveningEnd;
+  s.backend = Backend::kDes;
+  s.data_parallel = 4;
+  return s;
+}
+
+ScenarioSpec urban_commute() {
+  ScenarioSpec s;
+  s.name = "urban_commute";
+  s.description =
+      "60 commuters on an OpenCity-style grid city: west-side homes, "
+      "east-side office districts, origin-destination flows with "
+      "synchronized rush hours (morning-rush replay)";
+  s.map = MapKind::kUrbanGrid;
+  s.homes = 18;
+  s.districts = 9;
+  s.agents = 60;
+  s.profile = "commuter";
+  s.window_begin = kRushBegin;
+  s.window_end = kRushEnd;
+  s.backend = Backend::kDes;
+  s.data_parallel = 8;
+  return s;
+}
+
+ScenarioSpec sparse_ville() {
+  ScenarioSpec s;
+  s.name = "sparse_ville";
+  s.description =
+      "12 hermits who never leave home or converse, perception radius 1: "
+      "the near-zero-coupling workload where out-of-order execution "
+      "should approach the no-dependency resource bound";
+  s.map = MapKind::kSmallville;
+  s.homes = 25;
+  s.agents = 12;
+  s.profile = "hermit";
+  s.radius_p = 1.0;
+  s.calls_scale = 0.4;
+  s.window_begin = kBusyBegin;
+  s.window_end = kBusyEnd;
+  s.backend = Backend::kDes;
+  s.data_parallel = 4;
+  return s;
+}
+
+ScenarioSpec scaling_ville(std::int32_t n_segments) {
+  ScenarioSpec s;
+  s.name = strformat("scaling_ville%d", n_segments);
+  s.description = strformat(
+      "The paper's #4.3 scaling construction: %d SmallVilles concatenated "
+      "side by side (%d agents), busy-hour replay on 8x L4",
+      n_segments, n_segments * 25);
+  s.map = MapKind::kSmallville;
+  s.homes = 25;
+  s.segments = n_segments;
+  s.agents = 25 * n_segments;
+  s.profile = "townsfolk";
+  s.window_begin = kBusyBegin;
+  s.window_end = kBusyEnd;
+  s.backend = Backend::kDes;
+  s.data_parallel = 8;
+  return s;
+}
+
+ScenarioSpec quickstart_arena() {
+  ScenarioSpec s;
+  s.name = "quickstart_arena";
+  s.description =
+      "10 live LLM-driven wanderers on a 40x40 arena, run on the threaded "
+      "engine: verifies out-of-order execution reproduces the lock-step "
+      "world exactly";
+  s.map = MapKind::kArena;
+  s.map_width = 40;
+  s.map_height = 40;
+  s.agents = 10;
+  s.steps_per_day = 120;  // target steps for the live run
+  s.backend = Backend::kEngine;
+  s.workers = 4;
+  s.call_latency_us = 300;
+  return s;
+}
+
+}  // namespace
+
+std::vector<RegistryEntry> registry_entries() {
+  std::vector<RegistryEntry> out;
+  for (const ScenarioSpec& s :
+       {smallville_day(), social_hub(), urban_commute(), sparse_ville(),
+        scaling_ville(4), quickstart_arena()}) {
+    out.push_back(RegistryEntry{s.name, s.description});
+  }
+  return out;
+}
+
+std::optional<ScenarioSpec> find_scenario(const std::string& name,
+                                          std::string* error) {
+  if (name == "smallville_day") return smallville_day();
+  if (name == "social_hub") return social_hub();
+  if (name == "urban_commute") return urban_commute();
+  if (name == "sparse_ville") return sparse_ville();
+  if (name == "quickstart_arena") return quickstart_arena();
+  constexpr const char* kScalingPrefix = "scaling_ville";
+  if (name.rfind(kScalingPrefix, 0) == 0) {
+    const std::string suffix = name.substr(std::string(kScalingPrefix).size());
+    std::int32_t n = 0;
+    const auto [ptr, ec] =
+        std::from_chars(suffix.data(), suffix.data() + suffix.size(), n);
+    if (ec == std::errc{} && ptr == suffix.data() + suffix.size() && n >= 1 &&
+        n <= 64) {
+      return scaling_ville(n);
+    }
+    if (error != nullptr) {
+      *error = strformat(
+          "scaling_ville<N> takes N in [1, 64]; '%s' does not parse",
+          name.c_str());
+    }
+    return std::nullopt;
+  }
+  if (error != nullptr) {
+    std::vector<std::string> names;
+    for (const auto& entry : registry_entries()) names.push_back(entry.name);
+    *error = strformat("unknown scenario '%s' (known: %s)", name.c_str(),
+                       join(names, ", ").c_str());
+  }
+  return std::nullopt;
+}
+
+}  // namespace aimetro::scenario

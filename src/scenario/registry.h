@@ -1,0 +1,33 @@
+// Named built-in scenarios.
+//
+// The registry is the catalog every workload PR plugs into: each entry is
+// a ScenarioSpec (see spec.h) chosen to stress the dependency scoreboard
+// in a different way — the paper's calibrated day, a hub-dominated social
+// plaza, OpenCity-style commuter flows, a near-zero-coupling lower bound,
+// and the parameterized large-ville scaling construction.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.h"
+
+namespace aimetro::scenario {
+
+struct RegistryEntry {
+  std::string name;
+  std::string summary;
+};
+
+/// All registered scenarios (parameterized families list a representative
+/// instance), in presentation order for `aimetro_run --list`.
+std::vector<RegistryEntry> registry_entries();
+
+/// Look up a scenario by name. `scaling_ville<N>` is a parameterized
+/// family: any N in [1, 64] resolves (N segments, 25*N agents). Unknown
+/// names return nullopt and set *error to a message listing what exists.
+std::optional<ScenarioSpec> find_scenario(const std::string& name,
+                                          std::string* error);
+
+}  // namespace aimetro::scenario

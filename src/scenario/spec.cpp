@@ -1,0 +1,324 @@
+#include "scenario/spec.h"
+
+#include <charconv>
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <vector>
+
+#include "common/strings.h"
+#include "llm/specs.h"
+#include "trace/behavior.h"
+
+namespace aimetro::scenario {
+
+const char* backend_name(Backend b) {
+  switch (b) {
+    case Backend::kDes:
+      return "des";
+    case Backend::kEngine:
+      return "engine";
+  }
+  return "?";
+}
+
+std::optional<Backend> backend_from_name(const std::string& name) {
+  if (name == "des") return Backend::kDes;
+  if (name == "engine") return Backend::kEngine;
+  return std::nullopt;
+}
+
+const char* map_kind_name(MapKind m) {
+  switch (m) {
+    case MapKind::kSmallville:
+      return "smallville";
+    case MapKind::kPlaza:
+      return "plaza";
+    case MapKind::kUrbanGrid:
+      return "urban_grid";
+    case MapKind::kArena:
+      return "arena";
+  }
+  return "?";
+}
+
+std::optional<MapKind> map_kind_from_name(const std::string& name) {
+  if (name == "smallville") return MapKind::kSmallville;
+  if (name == "plaza") return MapKind::kPlaza;
+  if (name == "urban_grid") return MapKind::kUrbanGrid;
+  if (name == "arena") return MapKind::kArena;
+  return std::nullopt;
+}
+
+namespace {
+
+// ---- Typed conversion layer (std::from_chars based) ----
+// Every value type used by ScenarioSpec gets a conv() overload that
+// converts the *entire* trimmed token or fails — no partial parses, no
+// locale surprises, no silent truncation.
+
+template <typename Int>
+bool conv_int(const std::string& v, Int* out) {
+  Int parsed{};
+  const char* first = v.data();
+  const char* last = v.data() + v.size();
+  const auto [ptr, ec] = std::from_chars(first, last, parsed);
+  if (ec != std::errc{} || ptr != last) return false;
+  *out = parsed;
+  return true;
+}
+
+bool conv(const std::string& v, std::int32_t* out) { return conv_int(v, out); }
+bool conv(const std::string& v, std::int64_t* out) { return conv_int(v, out); }
+bool conv(const std::string& v, std::uint64_t* out) { return conv_int(v, out); }
+
+bool conv(const std::string& v, double* out) {
+  double parsed{};
+  const char* first = v.data();
+  const char* last = v.data() + v.size();
+  const auto [ptr, ec] = std::from_chars(first, last, parsed);
+  if (ec != std::errc{} || ptr != last) return false;
+  *out = parsed;
+  return true;
+}
+
+bool conv(const std::string& v, std::string* out) {
+  *out = v;
+  return true;
+}
+
+bool conv(const std::string& v, Backend* out) {
+  const auto b = backend_from_name(v);
+  if (!b) return false;
+  *out = *b;
+  return true;
+}
+
+bool conv(const std::string& v, MapKind* out) {
+  const auto m = map_kind_from_name(v);
+  if (!m) return false;
+  *out = *m;
+  return true;
+}
+
+// ---- Rendering (for to_text round trips) ----
+
+std::string render(const std::string& v) { return v; }
+std::string render(std::int32_t v) { return std::to_string(v); }
+std::string render(std::int64_t v) { return std::to_string(v); }
+std::string render(std::uint64_t v) { return std::to_string(v); }
+std::string render(Backend v) { return backend_name(v); }
+std::string render(MapKind v) { return map_kind_name(v); }
+std::string render(double v) {
+  // Shortest representation that from_chars converts back exactly.
+  char buf[64];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  return ec == std::errc{} ? std::string(buf, ptr) : std::to_string(v);
+}
+
+struct Field {
+  const char* key;
+  std::function<bool(ScenarioSpec&, const std::string&)> set;
+  std::function<std::string(const ScenarioSpec&)> get;
+};
+
+#define AIM_SPEC_FIELD(key, member)                                       \
+  Field {                                                                 \
+    key,                                                                  \
+        [](ScenarioSpec& s, const std::string& v) {                       \
+          return conv(v, &s.member);                                      \
+        },                                                                \
+        [](const ScenarioSpec& s) { return render(s.member); }            \
+  }
+
+const std::vector<Field>& fields() {
+  static const std::vector<Field> kFields = {
+      AIM_SPEC_FIELD("name", name),
+      AIM_SPEC_FIELD("description", description),
+      AIM_SPEC_FIELD("map", map),
+      AIM_SPEC_FIELD("map_width", map_width),
+      AIM_SPEC_FIELD("map_height", map_height),
+      AIM_SPEC_FIELD("homes", homes),
+      AIM_SPEC_FIELD("districts", districts),
+      AIM_SPEC_FIELD("segments", segments),
+      AIM_SPEC_FIELD("agents", agents),
+      AIM_SPEC_FIELD("profile", profile),
+      AIM_SPEC_FIELD("conversation_scale", conversation_scale),
+      AIM_SPEC_FIELD("calls_scale", calls_scale),
+      AIM_SPEC_FIELD("steps_per_day", steps_per_day),
+      AIM_SPEC_FIELD("window_begin", window_begin),
+      AIM_SPEC_FIELD("window_end", window_end),
+      AIM_SPEC_FIELD("seed", seed),
+      AIM_SPEC_FIELD("radius_p", radius_p),
+      AIM_SPEC_FIELD("max_vel", max_vel),
+      AIM_SPEC_FIELD("model", model),
+      AIM_SPEC_FIELD("gpu", gpu),
+      AIM_SPEC_FIELD("tensor_parallel", tensor_parallel),
+      AIM_SPEC_FIELD("data_parallel", data_parallel),
+      AIM_SPEC_FIELD("backend", backend),
+      AIM_SPEC_FIELD("workers", workers),
+      AIM_SPEC_FIELD("call_latency_us", call_latency_us),
+  };
+  return kFields;
+}
+
+#undef AIM_SPEC_FIELD
+
+const Field* find_field(const std::string& key) {
+  for (const Field& f : fields()) {
+    if (key == f.key) return &f;
+  }
+  return nullptr;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+}  // namespace
+
+std::string ScenarioSpec::to_text() const {
+  std::ostringstream os;
+  os << "# scenario: " << name << "\n";
+  for (const Field& f : fields()) {
+    os << f.key << " = " << f.get(*this) << "\n";
+  }
+  return os.str();
+}
+
+Step ScenarioSpec::sim_steps() const {
+  if (window_begin >= 0 && window_end > window_begin) {
+    return window_end - window_begin;
+  }
+  return steps_per_day;
+}
+
+bool apply_override(ScenarioSpec* spec, const std::string& assignment,
+                    std::string* error) {
+  const std::size_t eq = assignment.find('=');
+  if (eq == std::string::npos) {
+    *error = strformat("expected key=value, got '%s'", assignment.c_str());
+    return false;
+  }
+  const std::string key = trim(assignment.substr(0, eq));
+  const std::string value = trim(assignment.substr(eq + 1));
+  const Field* field = find_field(key);
+  if (field == nullptr) {
+    *error = strformat("unknown key '%s'", key.c_str());
+    return false;
+  }
+  if (!field->set(*spec, value)) {
+    *error = strformat("invalid value '%s' for key '%s'", value.c_str(),
+                       key.c_str());
+    return false;
+  }
+  return true;
+}
+
+SpecParseResult parse_spec_text(const std::string& text, ScenarioSpec base) {
+  std::istringstream is(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(is, line)) {
+    ++line_no;
+    const std::string stripped = trim(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    std::string error;
+    if (!apply_override(&base, stripped, &error)) {
+      return SpecParseResult{std::nullopt,
+                             strformat("line %d: %s", line_no, error.c_str())};
+    }
+  }
+  return SpecParseResult{std::move(base), ""};
+}
+
+SpecParseResult parse_spec_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return SpecParseResult{std::nullopt,
+                           strformat("cannot open '%s'", path.c_str())};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_spec_text(buffer.str());
+}
+
+std::string validate_spec(const ScenarioSpec& spec) {
+  if (spec.agents < 1) return "agents must be >= 1";
+  if (spec.segments < 1) return "segments must be >= 1";
+  if (spec.agents % spec.segments != 0) {
+    return strformat("agents (%d) must be divisible by segments (%d)",
+                     spec.agents, spec.segments);
+  }
+  if (spec.steps_per_day < 1) return "steps_per_day must be >= 1";
+  const bool has_window = spec.window_begin >= 0 || spec.window_end >= 0;
+  if (has_window) {
+    if (spec.window_begin < 0 || spec.window_end <= spec.window_begin ||
+        spec.window_end > spec.steps_per_day) {
+      return strformat(
+          "window [%d, %d) must satisfy 0 <= begin < end <= steps_per_day",
+          spec.window_begin, spec.window_end);
+    }
+  }
+  if (spec.radius_p <= 0.0) return "radius_p must be > 0";
+  if (spec.max_vel < 0.0) return "max_vel must be >= 0";
+  if (spec.conversation_scale < 0.0) return "conversation_scale must be >= 0";
+  if (spec.calls_scale < 0.0) return "calls_scale must be >= 0";
+  if (spec.tensor_parallel < 1 || spec.data_parallel < 1) {
+    return "tensor_parallel and data_parallel must be >= 1";
+  }
+  if (spec.workers < 1) return "workers must be >= 1";
+  if (spec.call_latency_us < 0) return "call_latency_us must be >= 0";
+
+  switch (spec.map) {
+    case MapKind::kSmallville:
+      if (spec.homes < 1 || spec.homes > 26) {
+        return "smallville maps support 1..26 homes";
+      }
+      break;
+    case MapKind::kPlaza:
+      if (spec.homes < 1 || spec.homes > 14) {
+        return "plaza maps support 1..14 homes";
+      }
+      break;
+    case MapKind::kUrbanGrid:
+      if (spec.homes < 1 || spec.homes > 18) {
+        return "urban_grid maps support 1..18 homes";
+      }
+      if (spec.districts < 1 || spec.districts > 9) {
+        return "urban_grid maps support 1..9 districts";
+      }
+      break;
+    case MapKind::kArena:
+      if (spec.map_width < 4 || spec.map_height < 4) {
+        return "arena maps must be at least 4x4";
+      }
+      if (spec.backend != Backend::kEngine) {
+        return "arena maps have no routine venues, so no trace can be "
+               "generated for them: set backend = engine";
+      }
+      if (spec.segments != 1) return "arena maps cannot be segmented";
+      break;
+  }
+
+  if (!trace::BehaviorProfile::find(spec.profile)) {
+    return strformat("unknown behavior profile '%s' (known: %s)",
+                     spec.profile.c_str(),
+                     join(trace::BehaviorProfile::names(), ", ").c_str());
+  }
+  if (!llm::find_model(spec.model)) {
+    return strformat("unknown model '%s' (known: %s)", spec.model.c_str(),
+                     join(llm::known_model_names(), ", ").c_str());
+  }
+  if (!llm::find_gpu(spec.gpu)) {
+    return strformat("unknown GPU '%s' (known: %s)", spec.gpu.c_str(),
+                     join(llm::known_gpu_names(), ", ").c_str());
+  }
+  return "";
+}
+
+}  // namespace aimetro::scenario

@@ -1,0 +1,114 @@
+// Declarative workload specifications.
+//
+// A ScenarioSpec describes one complete workload — world geometry, agent
+// population and behavior profile, dependency parameters, the LLM serving
+// platform, and which execution backend runs it — as plain data. Specs are
+// serialized to / parsed from a simple `key = value` text format ('#'
+// comments, one key per line) with a std::from_chars-based typed
+// conversion layer, so a scenario is a file you can diff, share, and sweep
+// rather than a C++ binary you have to write.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "common/types.h"
+
+namespace aimetro::scenario {
+
+/// Which execution pipeline runs the scenario.
+///  - kDes: trace replay on the discrete-event serving simulator
+///    (src/replay + src/llm) — virtual time, cost-model GPUs.
+///  - kEngine: the live threaded runtime::Engine — real threads, a real
+///    world, wall-clock time, fake-LLM latency.
+enum class Backend : std::uint8_t { kDes, kEngine };
+
+const char* backend_name(Backend b);
+std::optional<Backend> backend_from_name(const std::string& name);
+
+/// World-geometry family; see world::GridMap builders.
+enum class MapKind : std::uint8_t { kSmallville, kPlaza, kUrbanGrid, kArena };
+
+const char* map_kind_name(MapKind m);
+std::optional<MapKind> map_kind_from_name(const std::string& name);
+
+struct ScenarioSpec {
+  std::string name = "unnamed";
+  std::string description;
+
+  // ---- World geometry ----
+  MapKind map = MapKind::kSmallville;
+  std::int32_t map_width = 40;   // arena maps only
+  std::int32_t map_height = 40;  // arena maps only
+  std::int32_t homes = 15;       // smallville / plaza / urban_grid
+  std::int32_t districts = 6;    // urban_grid office districts
+  /// Horizontal segment concatenation — the paper's large-ville scaling
+  /// construction (§4.3). agents must be divisible by segments.
+  std::int32_t segments = 1;
+
+  // ---- Agent population & behavior ----
+  std::int32_t agents = 25;
+  std::string profile = "townsfolk";  // see trace::BehaviorProfile
+  double conversation_scale = 1.0;    // multiplies conversation propensity
+  double calls_scale = 1.0;           // multiplies the calls-per-day target
+  std::int32_t steps_per_day = 8640;  // 10 simulated seconds per step
+  /// Replay window [begin, end) in absolute steps; -1/-1 = the full day.
+  Step window_begin = -1;
+  Step window_end = -1;
+  std::uint64_t seed = 42;
+
+  // ---- Dependency parameters ----
+  double radius_p = 4.0;
+  double max_vel = 1.0;
+
+  // ---- LLM serving platform (DES backend) ----
+  /// Resolved through llm::find_model / llm::find_gpu; unknown names are a
+  /// validation error, never a silent default.
+  std::string model = "llama-3-8b-instruct";
+  std::string gpu = "l4";
+  std::int32_t tensor_parallel = 1;
+  std::int32_t data_parallel = 4;
+
+  // ---- Execution ----
+  Backend backend = Backend::kDes;
+  std::int32_t workers = 4;            // engine backend worker threads
+  std::int64_t call_latency_us = 200;  // engine backend fake-LLM latency
+
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+
+  /// Serialize as `key = value` text; parse_spec_text round-trips it.
+  std::string to_text() const;
+
+  /// Steps actually simulated: the window size, or the full day.
+  Step sim_steps() const;
+  /// Window start in absolute steps (0 when running the full day).
+  Step window_start() const { return window_begin >= 0 ? window_begin : 0; }
+};
+
+struct SpecParseResult {
+  std::optional<ScenarioSpec> spec;
+  std::string error;  // non-empty iff !spec; includes the offending line
+
+  explicit operator bool() const { return spec.has_value(); }
+};
+
+/// Parse `key = value` text on top of `base` (so files and CLI overrides
+/// can patch a registry entry). Rejects unknown keys, malformed values,
+/// and garbage lines with a line-numbered error.
+SpecParseResult parse_spec_text(const std::string& text,
+                                ScenarioSpec base = {});
+
+/// Parse a spec file from disk.
+SpecParseResult parse_spec_file(const std::string& path);
+
+/// Apply a single "key=value" override. Returns false and sets *error on
+/// unknown keys or unconvertible values.
+bool apply_override(ScenarioSpec* spec, const std::string& assignment,
+                    std::string* error);
+
+/// Semantic validation: ranges, divisibility, profile/model/GPU name
+/// resolution, backend/map compatibility. Empty string when valid.
+std::string validate_spec(const ScenarioSpec& spec);
+
+}  // namespace aimetro::scenario

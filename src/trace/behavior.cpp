@@ -1,0 +1,93 @@
+#include "trace/behavior.h"
+
+namespace aimetro::trace {
+
+BehaviorProfile BehaviorProfile::townsfolk() {
+  return BehaviorProfile{};  // the defaults are the calibrated GenAgent day
+}
+
+BehaviorProfile BehaviorProfile::socialite() {
+  BehaviorProfile p;
+  p.name = "socialite";
+  p.workplace_prefixes = {"cafe", "bar", "plaza"};
+  p.workplace_weights = {0.5, 0.3, 0.2};
+  p.social_prefixes = {"plaza", "bar", "cafe", "park"};
+  p.social_zipf_alpha = 1.4;  // most evenings converge on the hub venue
+  p.wake_hour_mean = 8.5;
+  p.wake_hour_sigma = 0.8;
+  p.lunch_hour_mean = 12.5;
+  p.lunch_hour_sigma = 0.4;
+  p.social_hour_mean = 15.5;  // long social afternoons and evenings
+  p.social_hour_sigma = 1.0;
+  p.home_hour_mean = 21.8;
+  p.sleep_hour_mean = 23.6;
+  p.conversation_start_prob = 0.10;
+  p.conversation_cooldown_steps = 120;
+  p.conversation_length_scale = 1.6;
+  // Evening-heavy curve: quiet mornings, sustained afternoon ramp, a tall
+  // 6-9pm plateau when the hub venue is packed.
+  p.hourly_weights = {0.6, 0.1, 0.05, 0.05, 0.05, 0.1, 0.3, 0.8,
+                      1.5, 2.5, 3.5, 4.5,  5.0,  5.0, 5.5, 6.0,
+                      7.0, 8.0, 9.0, 9.5,  9.0,  7.5, 4.5, 2.0};
+  return p;
+}
+
+BehaviorProfile BehaviorProfile::commuter() {
+  BehaviorProfile p;
+  p.name = "commuter";
+  p.workplace_prefixes = {"office"};
+  p.workplace_weights = {1.0};
+  p.social_prefixes = {"cafe", "park"};
+  p.social_zipf_alpha = 0.8;
+  p.wake_hour_mean = 6.0;
+  p.wake_hour_sigma = 0.3;  // synchronized rush: everyone leaves together
+  p.lunch_hour_mean = 12.2;
+  p.lunch_hour_sigma = 0.3;
+  p.social_hour_mean = 17.8;
+  p.social_hour_sigma = 0.4;
+  p.home_hour_mean = 19.5;
+  p.sleep_hour_mean = 22.5;
+  p.conversation_start_prob = 0.015;  // commuters keep to themselves
+  p.conversation_cooldown_steps = 420;
+  p.conversation_length_scale = 0.7;
+  // Double-peak rush-hour curve: sharp 7-9am and 5-7pm maxima with a
+  // moderate office plateau between — the OpenCity commute shape.
+  p.hourly_weights = {0.3, 0.05, 0.05, 0.05, 0.2, 1.0, 3.5, 8.0,
+                      8.5, 4.5,  3.5,  3.5,  4.5, 3.5, 3.0, 3.0,
+                      4.0, 8.0,  8.5,  5.0,  3.0, 2.0, 1.0, 0.5};
+  return p;
+}
+
+BehaviorProfile BehaviorProfile::hermit() {
+  BehaviorProfile p;
+  p.name = "hermit";
+  p.workplace_prefixes.clear();  // the workday happens at home
+  p.workplace_weights.clear();
+  p.social_prefixes.clear();     // and so does the evening
+  p.wake_hour_mean = 7.5;
+  p.wake_hour_sigma = 1.5;  // unsynchronized: no shared clock
+  p.social_hour_mean = 18.0;
+  p.home_hour_mean = 20.0;
+  p.sleep_hour_mean = 23.0;
+  p.conversation_start_prob = 0.0;
+  p.conversation_length_scale = 0.0;
+  // Flat awake-hours curve: no communal rhythm to exploit or suffer.
+  p.hourly_weights = {0.2, 0.1, 0.1, 0.1, 0.2, 0.5, 1.0, 2.0,
+                      3.0, 3.0, 3.0, 3.0, 3.0, 3.0, 3.0, 3.0,
+                      3.0, 3.0, 3.0, 3.0, 3.0, 2.5, 1.5, 0.8};
+  return p;
+}
+
+std::optional<BehaviorProfile> BehaviorProfile::find(const std::string& name) {
+  if (name == "townsfolk") return townsfolk();
+  if (name == "socialite") return socialite();
+  if (name == "commuter") return commuter();
+  if (name == "hermit") return hermit();
+  return std::nullopt;
+}
+
+std::vector<std::string> BehaviorProfile::names() {
+  return {"townsfolk", "socialite", "commuter", "hermit"};
+}
+
+}  // namespace aimetro::trace

@@ -1,0 +1,85 @@
+// Pluggable behavior profiles for the synthetic workload generator.
+//
+// The paper evaluates one workload — a calibrated Generative-Agents day.
+// A BehaviorProfile factors everything that made that workload *that*
+// workload out of the generator: the routine mix (where agents work and
+// socialize, when they wake/eat/sleep), the conversation propensity (how
+// often co-located agents couple into clusters), and the diurnal curve
+// (how LLM calls distribute over the day). Different profiles stress the
+// dependency scoreboard in genuinely different ways: a socialite hub
+// produces large clusters, commuters produce long decoupled stretches with
+// synchronized rush-hour bursts, hermits produce near-zero coupling.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace aimetro::trace {
+
+struct BehaviorProfile {
+  std::string name = "townsfolk";
+
+  // ---- Routine mix ----
+  /// Arena-name prefixes eligible as workplaces, one relative weight per
+  /// prefix (split evenly among arenas sharing a prefix). Empty, or no
+  /// matching arena on the map: agents spend the workday at home.
+  std::vector<std::string> workplace_prefixes = {"cafe", "supply_store",
+                                                 "college", "bar"};
+  std::vector<double> workplace_weights = {0.2, 0.2, 0.45, 0.15};
+  /// Arena-name prefixes eligible as evening social venues. Venue choice is
+  /// Zipf-distributed over the discovered venues (rank order of discovery):
+  /// weight(rank k) = 1 / (k+1)^social_zipf_alpha. Large alpha concentrates
+  /// the population on the top venue — a power-law contact graph where a
+  /// few hub locations mediate most agent meetings.
+  std::vector<std::string> social_prefixes = {"park", "bar"};
+  double social_zipf_alpha = 0.6;
+
+  /// Schedule timing, in simulated hours.
+  double wake_hour_mean = 6.5;
+  double wake_hour_sigma = 0.5;
+  double lunch_hour_mean = 12.0;
+  double lunch_hour_sigma = 0.2;
+  double social_hour_mean = 17.5;
+  double social_hour_sigma = 0.8;
+  double home_hour_mean = 20.5;
+  double sleep_hour_mean = 23.0;
+
+  // ---- Conversation propensity ----
+  /// Probability that two co-located idle agents start a conversation
+  /// (per pair per step, with a per-pair cooldown).
+  double conversation_start_prob = 0.03;
+  Step conversation_cooldown_steps = 300;  // 50 simulated minutes
+  /// Multiplies the diurnal conversation-length intensity (turn count).
+  double conversation_length_scale = 1.0;
+
+  // ---- Diurnal curve ----
+  /// Fraction of the day's calls landing in each simulated hour
+  /// (normalized internally). The townsfolk default reproduces Figure 4c:
+  /// sleep trough 1-4am, quiet 6-7am (~1.4%), peak 12-1pm (~8.8%).
+  std::array<double, 24> hourly_weights = {
+      0.5,  0.05, 0.05, 0.05, 0.3, 0.8, 1.4, 3.0, 5.0, 6.0, 6.5, 7.5,
+      8.8,  7.5,  6.5,  6.0,  6.0, 6.5, 7.0, 6.5, 5.5, 4.0, 2.5, 1.2};
+
+  // ---- Built-in profiles ----
+  /// The calibrated Generative-Agents day of the paper's evaluation (§4.1).
+  static BehaviorProfile townsfolk();
+  /// Dense social coupling: high conversation propensity, evening-heavy
+  /// diurnal curve, strongly Zipf-skewed venue choice (hub contact graph).
+  static BehaviorProfile socialite();
+  /// OpenCity-style urban commuter: office workplaces, early wake, sharp
+  /// morning/evening rush-hour activity peaks, little midday socializing.
+  static BehaviorProfile commuter();
+  /// Near-zero coupling: agents stay home, never converse — the
+  /// embarrassingly-parallel lower bound for the scheduler.
+  static BehaviorProfile hermit();
+
+  /// Look up a built-in profile by name; nullopt for unknown names.
+  static std::optional<BehaviorProfile> find(const std::string& name);
+  static std::vector<std::string> names();
+};
+
+}  // namespace aimetro::trace

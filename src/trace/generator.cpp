@@ -42,7 +42,10 @@ Step hour_to_step(double hour) {
   return static_cast<Step>(std::lround(hour * kStepsPerHour));
 }
 
-Step clamp_step(Step s, Step lo, Step hi) { return std::clamp(s, lo, hi); }
+// Tolerates hi < lo (possible with extreme custom profiles): lo wins.
+Step clamp_step(Step s, Step lo, Step hi) {
+  return hi < lo ? lo : std::clamp(s, lo, hi);
+}
 
 /// Deterministically pick a walkable tile inside an arena.
 Tile random_tile_in(const GridMap& map, const world::Arena& arena, Rng& rng) {
@@ -78,20 +81,51 @@ SimulationTrace generate(const GridMap& map, const GeneratorConfig& cfg) {
   AIM_CHECK(cfg.steps_per_day > 0);
   Rng rng(cfg.seed);
 
-  // Discover available homes / workplaces / social venues on the map.
-  std::vector<std::string> homes, workplaces, socials;
+  const BehaviorProfile& profile = cfg.profile;
+
+  // Discover available homes / workplaces / social venues on the map. The
+  // profile names venues by arena-name prefix so the same profile works on
+  // any map family (smallville cafes, urban office districts, plaza hubs).
+  std::vector<std::string> homes;
   for (const auto& arena : map.arenas()) {
     if (arena.name.rfind("home_", 0) == 0) homes.push_back(arena.name);
   }
-  for (const char* w : {"cafe", "supply_store", "college", "bar"}) {
-    if (map.arena(w)) workplaces.push_back(w);
-  }
-  for (const char* s : {"park", "bar"}) {
-    if (map.arena(s)) socials.push_back(s);
-  }
   AIM_CHECK_MSG(!homes.empty(), "map has no home_* arenas");
-  AIM_CHECK_MSG(!workplaces.empty(), "map has no workplace arenas");
-  if (socials.empty()) socials = workplaces;
+
+  // Per-discovered-arena weights: each prefix's weight is split evenly
+  // among the arenas matching it.
+  std::vector<std::string> workplaces;
+  std::vector<double> workplace_w;
+  for (std::size_t p = 0; p < profile.workplace_prefixes.size(); ++p) {
+    std::vector<const world::Arena*> matched;
+    for (const auto& arena : map.arenas()) {
+      if (arena.name.rfind(profile.workplace_prefixes[p], 0) == 0) {
+        matched.push_back(&arena);
+      }
+    }
+    const double w = p < profile.workplace_weights.size()
+                         ? profile.workplace_weights[p]
+                         : 1.0;
+    for (const auto* arena : matched) {
+      workplaces.push_back(arena->name);
+      workplace_w.push_back(w / static_cast<double>(matched.size()));
+    }
+  }
+
+  // Social venues: Zipf over discovery rank — a heavy alpha concentrates
+  // the evening population on one hub venue (power-law contact graph).
+  std::vector<std::string> socials;
+  std::vector<double> social_w;
+  for (const auto& prefix : profile.social_prefixes) {
+    for (const auto& arena : map.arenas()) {
+      if (arena.name.rfind(prefix, 0) == 0) {
+        socials.push_back(arena.name);
+        social_w.push_back(
+            1.0 / std::pow(static_cast<double>(socials.size()),
+                           profile.social_zipf_alpha));
+      }
+    }
+  }
 
   const Step day = cfg.steps_per_day;
   std::vector<AgentSim> sims(static_cast<std::size_t>(cfg.n_agents));
@@ -102,25 +136,40 @@ SimulationTrace generate(const GridMap& map, const GeneratorConfig& cfg) {
     AgentSim& a = sims[static_cast<std::size_t>(i)];
     a.id = i;
     a.home = homes[static_cast<std::size_t>(i) % homes.size()];
-    a.work = workplaces[rng.weighted_index({0.2, 0.2, 0.45, 0.15})
-                        % workplaces.size()];
-    a.social = socials[rng.bernoulli(0.6) ? 0 : socials.size() - 1];
+    // Profiles with no (matching) workplace or social venue keep the agent
+    // home for that part of the day — the hermit routine.
+    a.work = workplaces.empty()
+                 ? a.home
+                 : workplaces[rng.weighted_index(workplace_w)];
+    a.social =
+        socials.empty() ? a.home : socials[rng.weighted_index(social_w)];
     // Daily routines are clock-driven: agents wake on quarter-hour marks,
     // so their wake-up planning bursts align across agents (this is what
     // keeps lock-step sync comparatively cheap in the early-morning quiet
     // hour, §4.3).
-    a.wake = clamp_step(hour_to_step(rng.normal(6.5, 0.5)), hour_to_step(5.0),
-                        hour_to_step(8.0));
+    a.wake = clamp_step(
+        hour_to_step(rng.normal(profile.wake_hour_mean, profile.wake_hour_sigma)),
+        hour_to_step(std::max(0.0, profile.wake_hour_mean - 1.5)),
+        hour_to_step(profile.wake_hour_mean + 1.5));
     a.wake = (a.wake / 90) * 90;
     a.leave_home = a.wake + static_cast<Step>(rng.uniform_int(120, 300));
-    a.lunch_start = clamp_step(hour_to_step(rng.normal(12.0, 0.2)),
-                               hour_to_step(11.5), hour_to_step(12.7));
+    a.lunch_start = clamp_step(
+        hour_to_step(
+            rng.normal(profile.lunch_hour_mean, profile.lunch_hour_sigma)),
+        std::max<Step>(a.leave_home,
+                       hour_to_step(profile.lunch_hour_mean - 0.5)),
+        hour_to_step(profile.lunch_hour_mean + 0.7));
     a.lunch_end = a.lunch_start + static_cast<Step>(rng.uniform_int(200, 380));
-    a.social_start = clamp_step(hour_to_step(rng.normal(17.5, 0.8)),
-                                hour_to_step(16.0), hour_to_step(19.5));
-    a.home_start = clamp_step(hour_to_step(rng.normal(20.5, 0.8)),
-                              a.social_start + 60, hour_to_step(22.5));
-    a.sleep = clamp_step(hour_to_step(rng.normal(23.0, 0.8)),
+    a.social_start = clamp_step(
+        hour_to_step(
+            rng.normal(profile.social_hour_mean, profile.social_hour_sigma)),
+        std::max<Step>(a.lunch_end,
+                       hour_to_step(profile.social_hour_mean - 1.5)),
+        hour_to_step(profile.social_hour_mean + 2.0));
+    a.home_start = clamp_step(hour_to_step(rng.normal(profile.home_hour_mean, 0.8)),
+                              a.social_start + 60,
+                              hour_to_step(profile.home_hour_mean + 2.0));
+    a.sleep = clamp_step(hour_to_step(rng.normal(profile.sleep_hour_mean, 0.8)),
                          a.home_start + 60, day);
     // Start in bed at home.
     const world::Arena* home = map.arena(a.home);
@@ -139,8 +188,9 @@ SimulationTrace generate(const GridMap& map, const GeneratorConfig& cfg) {
     if (s < a.leave_home) return a.home;
     if (s < a.lunch_start) return a.work;
     if (s < a.lunch_end) {
+      // Lunch out only for agents who actually left home for work.
       static const std::string kCafe = "cafe";
-      return map.arena("cafe") ? kCafe : a.work;
+      return (a.work != a.home && map.arena("cafe")) ? kCafe : a.work;
     }
     if (s < a.social_start) return a.work;
     if (s < a.home_start) return a.social;
@@ -253,21 +303,24 @@ SimulationTrace generate(const GridMap& map, const GeneratorConfig& cfg) {
         const auto pair_key = std::make_pair(a.id, b.id);
         auto lit = last_conversation.find(pair_key);
         if (lit != last_conversation.end() &&
-            s - lit->second < cfg.conversation_cooldown_steps) {
+            s - lit->second < profile.conversation_cooldown_steps) {
           continue;
         }
         // Socializing follows the diurnal intensity: frequent, long
         // conversations at the midday peak, rare brief exchanges in the
         // early morning (§4.3: "busy hours feature long conversations").
         double peak_weight = 0.0;
-        for (double w : cfg.hourly_weights) peak_weight = std::max(peak_weight, w);
-        const double conv_intensity = cfg.hourly_weights[hour] / peak_weight;
-        if (!rng.bernoulli(cfg.conversation_start_prob *
+        for (double w : profile.hourly_weights) {
+          peak_weight = std::max(peak_weight, w);
+        }
+        const double conv_intensity = profile.hourly_weights[hour] / peak_weight;
+        if (!rng.bernoulli(profile.conversation_start_prob *
                            std::max(0.1, conv_intensity))) {
           continue;
         }
         const int n_turns =
-            3 + static_cast<int>(rng.poisson(1.4 * cfg.hourly_weights[hour]));
+            3 + static_cast<int>(rng.poisson(1.4 * profile.hourly_weights[hour] *
+                                             profile.conversation_length_scale));
         const std::int32_t conv_id = next_conversation_id++;
         Step turn_step = s + 1;
         for (int t = 0; t < n_turns && turn_step < day; ++t) {
@@ -287,7 +340,7 @@ SimulationTrace generate(const GridMap& map, const GeneratorConfig& cfg) {
 
   // ---- Pass B: routine fill to hit the diurnal call-count profile ----
   double weight_sum = 0.0;
-  for (double w : cfg.hourly_weights) weight_sum += w;
+  for (double w : cfg.profile.hourly_weights) weight_sum += w;
   AIM_CHECK(weight_sum > 0.0);
   const double total_target = cfg.target_calls_per_25_agents *
                               (static_cast<double>(cfg.n_agents) / 25.0);
@@ -310,7 +363,7 @@ SimulationTrace generate(const GridMap& map, const GeneratorConfig& cfg) {
   double routine_quota = 0.0;
   for (std::size_t h = 0; h < 24; ++h) {
     routine_quota += std::max(
-        0.0, total_target * cfg.hourly_weights[h] / weight_sum - existing[h]);
+        0.0, total_target * cfg.profile.hourly_weights[h] / weight_sum - existing[h]);
   }
   const double routine_input_mean =
       routine_quota > 0.0
@@ -344,11 +397,11 @@ SimulationTrace generate(const GridMap& map, const GeneratorConfig& cfg) {
   // heavy-tailed task chain lengths reproduce that sparsity, which is what
   // limits lock-step parallelism in the first place.
   double max_weight = 0.0;
-  for (double w : cfg.hourly_weights) max_weight = std::max(max_weight, w);
+  for (double w : cfg.profile.hourly_weights) max_weight = std::max(max_weight, w);
 
   for (std::size_t h = 0; h < 24; ++h) {
     double deficit =
-        total_target * cfg.hourly_weights[h] / weight_sum - existing[h];
+        total_target * cfg.profile.hourly_weights[h] / weight_sum - existing[h];
     const auto& candidates = awake_by_hour[h];
     if (candidates.empty()) continue;
     // Mild per-agent skew: the *step-level* dominance (long bursts below)
@@ -360,7 +413,7 @@ SimulationTrace generate(const GridMap& map, const GeneratorConfig& cfg) {
     // planning); quiet hours are mostly uniform one-or-two-call routines —
     // the §4.3 contrast that makes lock-step sync cheap at 6am and
     // expensive at noon.
-    const double intensity = cfg.hourly_weights[h] / max_weight;
+    const double intensity = cfg.profile.hourly_weights[h] / max_weight;
     const double p_task = 0.25 * intensity;
     const double task_len_lambda = 1.0 + 7.0 * intensity;
     // In light hours agents run the same clock-driven routines (waking,
@@ -442,19 +495,26 @@ SimulationTrace generate(const GridMap& map, const GeneratorConfig& cfg) {
   return out;
 }
 
-SimulationTrace generate_large_ville(std::int32_t n_segments,
-                                     const GeneratorConfig& base) {
+SimulationTrace generate_concatenated(const GridMap& segment,
+                                      std::int32_t n_segments,
+                                      const GeneratorConfig& base) {
   AIM_CHECK(n_segments >= 1);
-  const GridMap segment_map =
-      GridMap::smallville(std::min<std::int32_t>(base.n_agents, 26));
+  if (n_segments == 1) return generate(segment, base);
   std::vector<SimulationTrace> segments;
   segments.reserve(static_cast<std::size_t>(n_segments));
   for (std::int32_t k = 0; k < n_segments; ++k) {
     GeneratorConfig cfg = base;
     cfg.seed = base.seed + static_cast<std::uint64_t>(k) * 0x9e3779b9ULL;
-    segments.push_back(generate(segment_map, cfg));
+    segments.push_back(generate(segment, cfg));
   }
-  return concatenate_segments(segments, segment_map.width() + 1);
+  return concatenate_segments(segments, segment.width() + 1);
+}
+
+SimulationTrace generate_large_ville(std::int32_t n_segments,
+                                     const GeneratorConfig& base) {
+  const GridMap segment_map =
+      GridMap::smallville(std::min<std::int32_t>(base.n_agents, 26));
+  return generate_concatenated(segment_map, n_segments, base);
 }
 
 }  // namespace aimetro::trace

@@ -15,9 +15,9 @@
 // spatial coupling/blocking structure the scheduler exploits.
 #pragma once
 
-#include <array>
 #include <cstdint>
 
+#include "trace/behavior.h"
 #include "trace/schema.h"
 #include "world/grid_map.h"
 
@@ -38,26 +38,26 @@ struct GeneratorConfig {
   double mean_input_tokens = 642.6;
   double mean_output_tokens = 21.9;
 
-  /// Fraction of the day's calls landing in each simulated hour
-  /// (normalized internally). Defaults reproduce Figure 4c: sleep trough
-  /// 1-4am, quiet 6-7am (~1.4%), peak 12-1pm (~8.8%).
-  std::array<double, 24> hourly_weights = {
-      0.5,  0.05, 0.05, 0.05, 0.3, 0.8, 1.4, 3.0, 5.0, 6.0, 6.5, 7.5,
-      8.8,  7.5,  6.5,  6.0,  6.0, 6.5, 7.0, 6.5, 5.5, 4.0, 2.5, 1.2};
-
-  /// Probability that two co-located idle agents start a conversation
-  /// (per pair per step, with a per-pair cooldown).
-  double conversation_start_prob = 0.03;
-  Step conversation_cooldown_steps = 300;  // 50 simulated minutes
+  /// The behavior model: routine mix, conversation propensity, diurnal
+  /// curve. Defaults to the calibrated GenAgent townsfolk day; see
+  /// trace/behavior.h for the other built-in profiles.
+  BehaviorProfile profile;
 };
 
 /// Generates a full-day trace on `map` (one segment; use
 /// concatenate_segments + GridMap::concatenate for the large ville).
 SimulationTrace generate(const world::GridMap& map, const GeneratorConfig& cfg);
 
-/// Convenience: generate `n_segments` independent 25-agent SmallVille day
-/// traces (seeds seed, seed+1, ...) and concatenate them — the paper's
-/// scaling workload with n_segments*25 agents.
+/// Generate `n_segments` independent day traces of `segment` (derived
+/// seeds base.seed + k * 0x9e3779b9) and place them side by side with a
+/// one-tile divider stride — the paper's large-ville construction (§4.3).
+/// `base.n_agents` is the per-segment population.
+SimulationTrace generate_concatenated(const world::GridMap& segment,
+                                      std::int32_t n_segments,
+                                      const GeneratorConfig& base);
+
+/// Convenience: generate_concatenated on the SmallVille segment map —
+/// the paper's scaling workload with n_segments*25 agents.
 SimulationTrace generate_large_ville(std::int32_t n_segments,
                                      const GeneratorConfig& base);
 

@@ -129,6 +129,90 @@ GridMap GridMap::smallville(std::int32_t n_homes) {
   return map;
 }
 
+GridMap GridMap::plaza(std::int32_t n_homes) {
+  constexpr std::int32_t kSize = 80;
+  GridMap map(kSize, kSize);
+  AIM_CHECK(n_homes >= 1 && n_homes <= 14);
+
+  // Homes: 8x8 plots along the top and bottom edges, alternating.
+  for (std::int32_t i = 0; i < n_homes; ++i) {
+    const std::int32_t col = i / 2;
+    const std::int32_t x0 = 3 + col * 11;
+    const bool top = (i % 2) == 0;
+    const std::int32_t y0 = top ? 2 : kSize - 10;
+    const Rect plot{x0, y0, x0 + 7, y0 + 7};
+    map.add_arena(strformat("home_%d", i), plot);
+    map.add_object(strformat("bed_%d", i), Tile{plot.x0 + 1, plot.y0 + 1});
+  }
+
+  // The hub: one big central plaza, with a cafe and a bar facing it.
+  map.add_arena("plaza", Rect{28, 28, 52, 52});
+  map.add_object("fountain", Tile{40, 40});
+  map.add_arena("cafe", Rect{12, 32, 24, 46});
+  map.add_object("espresso_machine", Tile{18, 39});
+  map.add_arena("bar", Rect{56, 32, 68, 46});
+  map.add_object("counter", Tile{62, 39});
+  map.add_arena("park", Rect{28, 58, 52, 68});
+  map.add_object("bench", Tile{40, 63});
+  return map;
+}
+
+GridMap GridMap::urban_grid(std::int32_t n_districts, std::int32_t n_homes) {
+  constexpr std::int32_t kWidth = 140;
+  constexpr std::int32_t kHeight = 100;
+  GridMap map(kWidth, kHeight);
+  AIM_CHECK(n_districts >= 1 && n_districts <= 9);
+  AIM_CHECK(n_homes >= 1 && n_homes <= 18);
+
+  // Residential west side: two columns of 8x8 plots.
+  for (std::int32_t i = 0; i < n_homes; ++i) {
+    const std::int32_t row = i / 2;
+    const std::int32_t x0 = (i % 2) == 0 ? 3 : 14;
+    const std::int32_t y0 = 3 + row * 10;
+    const Rect plot{x0, y0, x0 + 7, y0 + 7};
+    map.add_arena(strformat("home_%d", i), plot);
+    map.add_object(strformat("bed_%d", i), Tile{plot.x0 + 1, plot.y0 + 1});
+  }
+
+  // Office districts stacked on the east side, three per column.
+  for (std::int32_t d = 0; d < n_districts; ++d) {
+    const std::int32_t col = d / 3;
+    const std::int32_t row = d % 3;
+    const std::int32_t x0 = 92 + col * 16;
+    const std::int32_t y0 = 6 + row * 32;
+    const Rect block{x0, y0, x0 + 13, y0 + 13};
+    map.add_arena(strformat("office_%d", d), block);
+    map.add_object(strformat("desk_%d", d), block.center());
+  }
+
+  // Midtown amenities between homes and offices.
+  map.add_arena("cafe", Rect{52, 42, 66, 56});
+  map.add_object("espresso_machine", Tile{59, 49});
+  map.add_arena("park", Rect{48, 8, 80, 30});
+  map.add_object("fountain", Tile{64, 19});
+
+  // Two full-height north-south walls between the residential west and
+  // the office east force every commute through a few two-tile gates —
+  // the chokepoints that couple commuters at rush hour. (Homes end at
+  // x=21, the cafe/park band sits between the walls, offices start at
+  // x=92, so no arena is severed.)
+  map.block_rect(Rect{40, 0, 40, kHeight - 1});
+  map.set_walkable(Tile{40, 20}, true);
+  map.set_walkable(Tile{40, 21}, true);
+  map.set_walkable(Tile{40, 70}, true);
+  map.set_walkable(Tile{40, 71}, true);
+  map.block_rect(Rect{86, 0, 86, kHeight - 1});
+  map.set_walkable(Tile{86, 49}, true);
+  map.set_walkable(Tile{86, 50}, true);
+  return map;
+}
+
+GridMap GridMap::arena(std::int32_t width, std::int32_t height) {
+  GridMap map(width, height);
+  map.add_object("fountain", Tile{width / 2, height / 2});
+  return map;
+}
+
 GridMap GridMap::concatenate(const GridMap& segment, std::int32_t copies,
                              bool divider) {
   AIM_CHECK(copies >= 1);

@@ -81,6 +81,24 @@ class GridMap {
   /// streets. `n_homes` homes are laid out along the top and bottom rows.
   static GridMap smallville(std::int32_t n_homes = 15);
 
+  /// A dense social hub: an 80x80 town square with one central plaza
+  /// flanked by a cafe and a bar, homes ringing the edges. Nearly every
+  /// path crosses the plaza, so evening socializing produces hub-dominated
+  /// (power-law) contact graphs and large agent clusters.
+  static GridMap plaza(std::int32_t n_homes = 14);
+
+  /// An OpenCity-style commuter city: residential plots along the west
+  /// edge, `n_districts` office districts stacked in the east, a cafe and
+  /// park in the middle band. Homes and offices are far apart, producing
+  /// origin-destination commute flows that decouple agents for most of the
+  /// day and couple them hard at rush hour.
+  static GridMap urban_grid(std::int32_t n_districts = 6,
+                            std::int32_t n_homes = 18);
+
+  /// A featureless open arena with a single central "fountain" object —
+  /// the live-agent (gym) playground used by quickstart-style scenarios.
+  static GridMap arena(std::int32_t width = 40, std::int32_t height = 40);
+
   /// Concatenate `copies` instances of `segment` left-to-right, offsetting
   /// arena/object names with a "seg<k>/" prefix, matching the paper's
   /// large-ville construction. A one-tile unwalkable divider column is

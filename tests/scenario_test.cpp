@@ -1,0 +1,349 @@
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <set>
+#include <string>
+
+#include "common/check.h"
+#include "llm/specs.h"
+#include "scenario/driver.h"
+#include "scenario/registry.h"
+#include "scenario/spec.h"
+#include "trace/behavior.h"
+#include "trace/generator.h"
+#include "world/grid_map.h"
+
+namespace aimetro::scenario {
+namespace {
+
+// ---- Spec text round trips ----
+
+TEST(SpecParse, DefaultSpecRoundTrips) {
+  const ScenarioSpec spec;
+  const auto parsed = parse_spec_text(spec.to_text());
+  ASSERT_TRUE(parsed) << parsed.error;
+  EXPECT_EQ(*parsed.spec, spec);
+}
+
+TEST(SpecParse, EveryRegistryEntryRoundTrips) {
+  for (const auto& entry : registry_entries()) {
+    std::string error;
+    const auto spec = find_scenario(entry.name, &error);
+    ASSERT_TRUE(spec.has_value()) << error;
+    const auto parsed = parse_spec_text(spec->to_text());
+    ASSERT_TRUE(parsed) << entry.name << ": " << parsed.error;
+    EXPECT_EQ(*parsed.spec, *spec) << entry.name;
+  }
+}
+
+TEST(SpecParse, CommentsAndBlankLinesIgnored) {
+  const auto parsed = parse_spec_text(
+      "# a comment\n"
+      "\n"
+      "agents = 50\n"
+      "   seed=7   \n");
+  ASSERT_TRUE(parsed) << parsed.error;
+  EXPECT_EQ(parsed.spec->agents, 50);
+  EXPECT_EQ(parsed.spec->seed, 7u);
+}
+
+TEST(SpecParse, ParsesOnTopOfABaseSpec) {
+  std::string error;
+  const auto base = find_scenario("smallville_day", &error);
+  ASSERT_TRUE(base.has_value());
+  const auto parsed = parse_spec_text("agents = 75\nsegments = 3\n", *base);
+  ASSERT_TRUE(parsed) << parsed.error;
+  EXPECT_EQ(parsed.spec->agents, 75);
+  EXPECT_EQ(parsed.spec->segments, 3);
+  EXPECT_EQ(parsed.spec->window_begin, base->window_begin);  // inherited
+}
+
+TEST(SpecParse, ParsesFromFile) {
+  const std::string path = ::testing::TempDir() + "aimetro_spec_test.spec";
+  {
+    std::ofstream out(path);
+    out << "# custom\nagents = 30\nbackend = engine\n";
+  }
+  const auto parsed = parse_spec_file(path);
+  ASSERT_TRUE(parsed) << parsed.error;
+  EXPECT_EQ(parsed.spec->agents, 30);
+  EXPECT_EQ(parsed.spec->backend, Backend::kEngine);
+
+  const auto missing = parse_spec_file("/nonexistent/aimetro.spec");
+  EXPECT_FALSE(missing);
+  EXPECT_NE(missing.error.find("cannot open"), std::string::npos);
+}
+
+// ---- Malformed input rejection ----
+
+TEST(SpecParse, RejectsUnknownKey) {
+  const auto parsed = parse_spec_text("no_such_key = 3\n");
+  ASSERT_FALSE(parsed);
+  EXPECT_NE(parsed.error.find("unknown key"), std::string::npos);
+  EXPECT_NE(parsed.error.find("no_such_key"), std::string::npos);
+}
+
+TEST(SpecParse, RejectsMissingEquals) {
+  const auto parsed = parse_spec_text("agents 25\n");
+  ASSERT_FALSE(parsed);
+  EXPECT_NE(parsed.error.find("key=value"), std::string::npos);
+}
+
+TEST(SpecParse, RejectsNonNumericInt) {
+  const auto parsed = parse_spec_text("agents = many\n");
+  ASSERT_FALSE(parsed);
+  EXPECT_NE(parsed.error.find("invalid value"), std::string::npos);
+}
+
+TEST(SpecParse, RejectsTrailingGarbageOnNumbers) {
+  EXPECT_FALSE(parse_spec_text("agents = 25x\n"));
+  EXPECT_FALSE(parse_spec_text("radius_p = 4.0.1\n"));
+  EXPECT_FALSE(parse_spec_text("seed = -1\n"));  // seed is unsigned
+}
+
+TEST(SpecParse, RejectsUnknownEnumValues) {
+  EXPECT_FALSE(parse_spec_text("backend = quantum\n"));
+  EXPECT_FALSE(parse_spec_text("map = moonbase\n"));
+}
+
+TEST(SpecParse, ReportsLineNumbers) {
+  const auto parsed = parse_spec_text("agents = 10\nbogus = 1\n");
+  ASSERT_FALSE(parsed);
+  EXPECT_NE(parsed.error.find("line 2"), std::string::npos);
+}
+
+TEST(ApplyOverride, SetsAndRejects) {
+  ScenarioSpec spec;
+  std::string error;
+  EXPECT_TRUE(apply_override(&spec, "workers=9", &error));
+  EXPECT_EQ(spec.workers, 9);
+  EXPECT_FALSE(apply_override(&spec, "workers=fast", &error));
+  EXPECT_FALSE(apply_override(&spec, "nonsense", &error));
+}
+
+// ---- Semantic validation ----
+
+TEST(SpecValidate, RegistryEntriesAreValid) {
+  for (const auto& entry : registry_entries()) {
+    std::string error;
+    const auto spec = find_scenario(entry.name, &error);
+    ASSERT_TRUE(spec.has_value()) << error;
+    EXPECT_EQ(validate_spec(*spec), "") << entry.name;
+  }
+}
+
+TEST(SpecValidate, CatchesStructuralErrors) {
+  ScenarioSpec spec;
+  spec.agents = 10;
+  spec.segments = 3;  // not divisible
+  EXPECT_NE(validate_spec(spec), "");
+
+  spec = ScenarioSpec{};
+  spec.window_begin = 100;
+  spec.window_end = 50;
+  EXPECT_NE(validate_spec(spec), "");
+
+  spec = ScenarioSpec{};
+  spec.map = MapKind::kArena;
+  spec.backend = Backend::kDes;  // arena maps need the live engine
+  EXPECT_NE(validate_spec(spec), "");
+
+  spec = ScenarioSpec{};
+  spec.profile = "warlock";
+  const std::string err = validate_spec(spec);
+  EXPECT_NE(err.find("unknown behavior profile"), std::string::npos);
+  EXPECT_NE(err.find("townsfolk"), std::string::npos);  // lists knowns
+}
+
+TEST(SpecValidate, UnknownModelAndGpuAreErrorsNotDefaults) {
+  ScenarioSpec spec;
+  spec.model = "gpt-17";
+  std::string err = validate_spec(spec);
+  EXPECT_NE(err.find("unknown model 'gpt-17'"), std::string::npos);
+  EXPECT_NE(err.find("llama-3-8b-instruct"), std::string::npos);
+
+  spec = ScenarioSpec{};
+  spec.gpu = "tpu-v9";
+  err = validate_spec(spec);
+  EXPECT_NE(err.find("unknown GPU 'tpu-v9'"), std::string::npos);
+  EXPECT_NE(err.find("NVIDIA L4"), std::string::npos);
+}
+
+TEST(LlmSpecs, NameResolutionAndAliases) {
+  ASSERT_TRUE(llm::find_model("llama-3-8b-instruct").has_value());
+  EXPECT_EQ(llm::find_model("Llama_3 8B Instruct")->name,
+            "llama-3-8b-instruct");
+  EXPECT_EQ(llm::find_model("70b")->name, "llama-3-70b-instruct");
+  EXPECT_EQ(llm::find_model("mixtral")->name, "mixtral-8x7b-instruct-v0.1");
+  EXPECT_FALSE(llm::find_model("claude").has_value());
+  EXPECT_EQ(llm::find_gpu("a100")->name, "NVIDIA A100-80GB");
+  EXPECT_EQ(llm::find_gpu("L4")->name, "NVIDIA L4");
+  EXPECT_FALSE(llm::find_gpu("h100").has_value());
+  EXPECT_FALSE(llm::known_model_names().empty());
+  EXPECT_FALSE(llm::known_gpu_names().empty());
+}
+
+// ---- Registry ----
+
+TEST(Registry, HasAtLeastFiveScenariosWithUniqueNames) {
+  const auto entries = registry_entries();
+  EXPECT_GE(entries.size(), 5u);
+  std::set<std::string> names;
+  for (const auto& e : entries) {
+    EXPECT_TRUE(names.insert(e.name).second) << "duplicate " << e.name;
+    EXPECT_FALSE(e.summary.empty()) << e.name;
+  }
+}
+
+TEST(Registry, ScalingVilleIsParameterized) {
+  std::string error;
+  const auto s3 = find_scenario("scaling_ville3", &error);
+  ASSERT_TRUE(s3.has_value()) << error;
+  EXPECT_EQ(s3->segments, 3);
+  EXPECT_EQ(s3->agents, 75);
+  EXPECT_EQ(validate_spec(*s3), "");
+
+  EXPECT_FALSE(find_scenario("scaling_ville0", &error).has_value());
+  EXPECT_FALSE(find_scenario("scaling_villeXL", &error).has_value());
+}
+
+TEST(Registry, UnknownNameListsKnownScenarios) {
+  std::string error;
+  EXPECT_FALSE(find_scenario("metropolis_prime", &error).has_value());
+  EXPECT_NE(error.find("unknown scenario"), std::string::npos);
+  EXPECT_NE(error.find("smallville_day"), std::string::npos);
+}
+
+// ---- Behavior profiles & map builders ----
+
+TEST(BehaviorProfiles, AllNamesResolve) {
+  for (const auto& name : trace::BehaviorProfile::names()) {
+    const auto p = trace::BehaviorProfile::find(name);
+    ASSERT_TRUE(p.has_value()) << name;
+    EXPECT_EQ(p->name, name);
+  }
+  EXPECT_FALSE(trace::BehaviorProfile::find("gremlin").has_value());
+}
+
+TEST(MapBuilders, PlazaAndUrbanGridHaveTheArenasProfilesNeed) {
+  const auto plaza = world::GridMap::plaza(14);
+  EXPECT_NE(plaza.arena("home_0"), nullptr);
+  EXPECT_NE(plaza.arena("plaza"), nullptr);
+  EXPECT_NE(plaza.arena("cafe"), nullptr);
+
+  const auto city = world::GridMap::urban_grid(9, 18);
+  EXPECT_NE(city.arena("home_17"), nullptr);
+  EXPECT_NE(city.arena("office_8"), nullptr);
+  EXPECT_NE(city.arena("cafe"), nullptr);
+  EXPECT_NE(city.arena("park"), nullptr);
+}
+
+TEST(BehaviorProfiles, ProfilesShapeTheWorkload) {
+  // Socialites on the plaza converse heavily; hermits never do.
+  trace::GeneratorConfig cfg;
+  cfg.n_agents = 12;
+  cfg.seed = 5;
+  cfg.target_calls_per_25_agents = 8000.0;  // keep the test fast
+
+  cfg.profile = trace::BehaviorProfile::socialite();
+  const auto social =
+      trace::generate(world::GridMap::plaza(12), cfg);
+  EXPECT_GT(social.interactions.size(), 0u);
+
+  cfg.profile = trace::BehaviorProfile::hermit();
+  const auto hermit =
+      trace::generate(world::GridMap::smallville(12), cfg);
+  EXPECT_EQ(hermit.interactions.size(), 0u);
+
+  // Commuters follow the double-peak diurnal curve: the morning rush
+  // (7-9am) carries far more calls than the mid-afternoon lull (2-4pm).
+  cfg.profile = trace::BehaviorProfile::commuter();
+  const auto commute =
+      trace::generate(world::GridMap::urban_grid(6, 12), cfg);
+  auto calls_between = [&](Step begin, Step end) {
+    std::size_t n = 0;
+    for (const auto& agent : commute.agents) {
+      for (const auto& call : agent.calls) {
+        if (call.step >= begin && call.step < end) ++n;
+      }
+    }
+    return n;
+  };
+  EXPECT_GT(calls_between(7 * 360, 9 * 360), calls_between(14 * 360, 16 * 360));
+}
+
+// ---- The cross-backend determinism guarantee ----
+
+TEST(CrossBackend, DesAndEngineAgreeOnASparseSpec) {
+  std::string error;
+  auto spec = find_scenario("sparse_ville", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  // Small window keeps both runs fast; hermits in disjoint walled homes
+  // never conflict, so the engine replays the trace positions exactly.
+  spec->agents = 8;
+  spec->window_begin = 4320;
+  spec->window_end = 4400;
+  spec->workers = 4;
+  spec->call_latency_us = 100;
+
+  spec->backend = Backend::kDes;
+  const auto des = ScenarioDriver(*spec).run();
+
+  spec->backend = Backend::kEngine;
+  const auto engine = ScenarioDriver(*spec).run();
+
+  EXPECT_EQ(des.agents, engine.agents);
+  EXPECT_EQ(des.steps, engine.steps);
+  EXPECT_EQ(des.agent_steps, engine.agent_steps);
+  EXPECT_EQ(des.agent_steps, 8u * 80u);
+  EXPECT_EQ(des.total_calls, engine.total_calls);
+  // Final scoreboard state — every agent's (step, position) — agrees.
+  EXPECT_EQ(des.scoreboard_digest, engine.scoreboard_digest);
+  // And the engine's serial and OOO executions produced identical worlds.
+  EXPECT_EQ(engine.world_hash_serial, engine.world_hash_metro);
+}
+
+TEST(CrossBackend, EngineBackendRunsACoupledScenario) {
+  // smallville_day has real coupling and movement conflicts; the engine
+  // must still complete every agent-step and keep serial == OOO worlds.
+  std::string error;
+  auto spec = find_scenario("smallville_day", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  spec->backend = Backend::kEngine;
+  spec->agents = 10;
+  spec->window_begin = 4320;
+  spec->window_end = 4360;  // 40 steps
+  spec->call_latency_us = 50;
+
+  const auto report = ScenarioDriver(*spec).run();
+  EXPECT_EQ(report.agent_steps, 10u * 40u);
+  EXPECT_GT(report.total_calls, 0u);
+  EXPECT_EQ(report.world_hash_serial, report.world_hash_metro);
+}
+
+TEST(Driver, DesReportHasSchedulerMetrics) {
+  std::string error;
+  auto spec = find_scenario("smallville_day", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  spec->window_begin = 4320;
+  spec->window_end = 4380;  // one simulated minute x 6
+
+  const auto report = ScenarioDriver(*spec).run();
+  EXPECT_GT(report.total_calls, 0u);
+  EXPECT_GT(report.serial_seconds, 0.0);
+  EXPECT_GT(report.sync_seconds, 0.0);
+  EXPECT_GT(report.metro_seconds, 0.0);
+  EXPECT_GE(report.speedup_vs_serial, 1.0);
+  EXPECT_GT(report.mean_cluster_size, 0.0);
+  EXPECT_GT(report.clusters_dispatched, 0u);
+  EXPECT_FALSE(report.summary().empty());
+}
+
+TEST(Driver, InvalidSpecThrowsWithTheValidationMessage) {
+  ScenarioSpec spec;
+  spec.model = "gpt-17";
+  EXPECT_THROW(ScenarioDriver{spec}, CheckError);
+}
+
+}  // namespace
+}  // namespace aimetro::scenario

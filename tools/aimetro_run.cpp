@@ -1,0 +1,127 @@
+// aimetro_run: list, describe, and run scenarios.
+//
+//   aimetro_run --list
+//   aimetro_run --describe <name>
+//   aimetro_run <name | spec-file> [--backend=des|engine] [key=value ...]
+//
+// A positional argument names a registry scenario or a spec file on disk.
+// Every spec key can be overridden on the command line, either bare
+// ("agents=50") or flag-style ("--agents=50"); see src/scenario/spec.h for
+// the full key list.
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/check.h"
+#include "scenario/driver.h"
+#include "scenario/registry.h"
+#include "scenario/spec.h"
+
+using namespace aimetro;
+
+namespace {
+
+int usage(int code) {
+  std::fprintf(
+      code == 0 ? stdout : stderr,
+      "usage:\n"
+      "  aimetro_run --list                          list built-in "
+      "scenarios\n"
+      "  aimetro_run --describe <name>               print a scenario's "
+      "spec text\n"
+      "  aimetro_run <name|spec-file> [key=value...] run a scenario\n"
+      "\n"
+      "overrides: any spec key, bare or flag-style — e.g. agents=50,\n"
+      "--backend=engine, --seed=7, --window_begin=4320. Run --describe on\n"
+      "a scenario to see every key.\n");
+  return code;
+}
+
+bool file_exists(const std::string& path) {
+  struct stat st {};
+  return ::stat(path.c_str(), &st) == 0 && S_ISREG(st.st_mode);
+}
+
+int list_scenarios() {
+  std::printf("built-in scenarios:\n");
+  for (const auto& entry : scenario::registry_entries()) {
+    std::printf("  %-18s %s\n", entry.name.c_str(), entry.summary.c_str());
+  }
+  std::printf(
+      "\nscaling_ville<N> accepts any N in [1, 64] (N segments, 25*N "
+      "agents).\n");
+  return 0;
+}
+
+/// Strip leading dashes so "--agents=50" and "agents=50" both work.
+std::string strip_dashes(const std::string& arg) {
+  std::size_t i = 0;
+  while (i < arg.size() && arg[i] == '-') ++i;
+  return arg.substr(i);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(1);
+  const std::string first = argv[1];
+  if (first == "--help" || first == "-h") return usage(0);
+  if (first == "--list") return list_scenarios();
+
+  std::string error;
+  if (first == "--describe") {
+    if (argc < 3) return usage(1);
+    const auto spec = scenario::find_scenario(argv[2], &error);
+    if (!spec) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("%s", spec->to_text().c_str());
+    return 0;
+  }
+
+  // Resolve the scenario: registry name first, then spec file.
+  scenario::ScenarioSpec spec;
+  if (auto found = scenario::find_scenario(first, &error)) {
+    spec = *found;
+  } else if (file_exists(first)) {
+    auto parsed = scenario::parse_spec_file(first);
+    if (!parsed) {
+      std::fprintf(stderr, "error: %s: %s\n", first.c_str(),
+                   parsed.error.c_str());
+      return 1;
+    }
+    spec = *parsed.spec;
+  } else {
+    std::fprintf(stderr, "error: %s\n", error.c_str());
+    return 1;
+  }
+
+  // Apply command-line overrides.
+  for (int i = 2; i < argc; ++i) {
+    const std::string assignment = strip_dashes(argv[i]);
+    if (!scenario::apply_override(&spec, assignment, &error)) {
+      std::fprintf(stderr, "error: %s\n", error.c_str());
+      return 1;
+    }
+  }
+
+  const std::string invalid = scenario::validate_spec(spec);
+  if (!invalid.empty()) {
+    std::fprintf(stderr, "error: %s\n", invalid.c_str());
+    return 1;
+  }
+
+  std::printf("running '%s' on the %s backend...\n", spec.name.c_str(),
+              scenario::backend_name(spec.backend));
+  try {
+    const scenario::ScenarioDriver driver(std::move(spec));
+    const scenario::ScenarioReport report = driver.run();
+    std::printf("%s", report.summary().c_str());
+  } catch (const CheckError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
