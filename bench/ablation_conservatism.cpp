@@ -11,8 +11,10 @@ using namespace aimetro;
 int main() {
   bench::print_header(
       "Ablation — rule conservatism (busy hour, 100 agents, 8x L4)");
-  const auto ville = bench::large_ville(100);
-  auto busy = trace::slice(ville, bench::kBusyBegin, bench::kBusyEnd);
+  auto busy = bench::registry_window(bench::registry_spec(
+      bench::ville_scenario_name(100),
+      {strformat("window_begin=%d", bench::kBusyBegin),
+       strformat("window_end=%d", bench::kBusyEnd)}));
   const auto cfg = bench::l4_llama8b(8);
   const double oracle =
       bench::run_mode(busy, cfg, replay::Mode::kOracle).completion_seconds;

@@ -11,8 +11,9 @@ using namespace aimetro;
 int main() {
   bench::print_header(
       "Ablation — prefix cache on/off (busy hour, 25 agents, 4x L4)");
-  const auto busy = trace::slice(bench::smallville_day(), bench::kBusyBegin,
-                                 bench::kBusyEnd);
+  // The registry entry's own window is exactly the busy hour.
+  const auto busy =
+      bench::registry_window(bench::registry_spec("smallville_day"));
   const std::vector<int> widths{14, 12, 12, 10, 12};
   bench::print_row({"mode", "cache off", "cache on", "gain", "hit rate"},
                    widths);

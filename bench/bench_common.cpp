@@ -3,55 +3,83 @@
 #include <cstdio>
 #include <map>
 
+#include "common/check.h"
 #include "common/strings.h"
+#include "scenario/driver.h"
+#include "scenario/registry.h"
 
 namespace aimetro::bench {
 
-const trace::SimulationTrace& smallville_day(std::uint64_t seed) {
-  static std::map<std::uint64_t, trace::SimulationTrace> cache;
-  auto it = cache.find(seed);
+scenario::ScenarioSpec registry_spec(const std::string& name,
+                                     const std::vector<std::string>& overrides) {
+  std::string error;
+  auto spec = scenario::find_scenario(name, &error);
+  AIM_CHECK_MSG(spec.has_value(), error);
+  for (const std::string& assignment : overrides) {
+    AIM_CHECK_MSG(scenario::apply_override(&*spec, assignment, &error), error);
+  }
+  error = scenario::validate_spec(*spec);
+  AIM_CHECK_MSG(error.empty(), "invalid bench spec '" << name
+                                                      << "': " << error);
+  return *spec;
+}
+
+const trace::SimulationTrace& registry_day_trace(
+    const scenario::ScenarioSpec& spec) {
+  scenario::ScenarioSpec day = spec;
+  day.window_begin = -1;
+  day.window_end = -1;
+  // Keyed on the full spec text: any knob that shapes the trace (map,
+  // agents, segments, profile, seed, scales) is part of the key.
+  static std::map<std::string, trace::SimulationTrace> cache;
+  const std::string key = day.to_text();
+  auto it = cache.find(key);
   if (it == cache.end()) {
-    const auto map = world::GridMap::smallville(25);
-    trace::GeneratorConfig cfg;
-    cfg.n_agents = 25;
-    cfg.seed = seed;
-    it = cache.emplace(seed, trace::generate(map, cfg)).first;
+    it = cache.emplace(key, scenario::ScenarioDriver(day).build_trace()).first;
   }
   return it->second;
 }
 
-trace::SimulationTrace large_ville(std::int32_t n_agents, std::uint64_t seed) {
-  trace::GeneratorConfig cfg;
-  cfg.n_agents = 25;
-  cfg.seed = seed;
-  return trace::generate_large_ville(n_agents / 25, cfg);
+trace::SimulationTrace registry_window(const scenario::ScenarioSpec& spec) {
+  const trace::SimulationTrace& day = registry_day_trace(spec);
+  if (spec.window_begin >= 0) {
+    return trace::slice(day, spec.window_begin, spec.window_end);
+  }
+  return day;
+}
+
+replay::ExperimentConfig registry_platform(
+    const scenario::ScenarioSpec& spec) {
+  return scenario::ScenarioDriver(spec).experiment_config();
+}
+
+std::string ville_scenario_name(std::int32_t n_agents) {
+  AIM_CHECK_MSG(n_agents >= 25 && n_agents % 25 == 0,
+                "ville populations come in multiples of 25");
+  if (n_agents == 25) return "smallville_day";
+  return strformat("scaling_ville%d", n_agents / 25);
 }
 
 replay::ExperimentConfig l4_llama8b(std::int32_t gpus) {
-  replay::ExperimentConfig cfg;
-  cfg.model = llm::ModelSpec::llama3_8b();
-  cfg.gpu = llm::GpuSpec::l4();
-  cfg.parallelism = llm::ParallelismConfig{1, gpus};
-  return cfg;
+  return registry_platform(registry_spec(
+      "smallville_day", {strformat("data_parallel=%d", gpus)}));
 }
 
 replay::ExperimentConfig a100_llama70b(std::int32_t gpus) {
-  replay::ExperimentConfig cfg;
-  cfg.model = llm::ModelSpec::llama3_70b();
-  cfg.gpu = llm::GpuSpec::a100_80gb();
   // TP4 per replica, hybrid data parallelism beyond four GPUs (§4.1).
-  cfg.parallelism = llm::ParallelismConfig{4, std::max(1, gpus / 4)};
-  return cfg;
+  return registry_platform(registry_spec(
+      "smallville_day",
+      {"model=llama-3-70b-instruct", "gpu=a100", "tensor_parallel=4",
+       strformat("data_parallel=%d", std::max(1, gpus / 4))}));
 }
 
 replay::ExperimentConfig a100_mixtral(std::int32_t gpus) {
-  replay::ExperimentConfig cfg;
-  cfg.model = llm::ModelSpec::mixtral_8x7b();
-  cfg.gpu = llm::GpuSpec::a100_80gb();
   // Mixtral fits in TP2, enabling higher data parallelism on the same
   // eight-GPU platform (§4.3).
-  cfg.parallelism = llm::ParallelismConfig{2, std::max(1, gpus / 2)};
-  return cfg;
+  return registry_platform(registry_spec(
+      "smallville_day",
+      {"model=mixtral", "gpu=a100", "tensor_parallel=2",
+       strformat("data_parallel=%d", std::max(1, gpus / 2))}));
 }
 
 replay::ExperimentResult run_mode(const trace::SimulationTrace& trace,

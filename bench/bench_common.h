@@ -1,9 +1,11 @@
 // Shared helpers for the figure/table reproduction harnesses.
 //
 // Each bench binary regenerates one table or figure from the paper's
-// evaluation (§4): it builds the workload (synthetic GenAgent traces,
-// §4.1 substitution), sweeps the paper's parameter grid, and prints the
-// same rows/series the paper reports, in TSV-friendly form.
+// evaluation (§4). Workloads and platforms come from the scenario registry
+// — a harness names a registry scenario (plus `key = value` overrides) and
+// gets its trace and DES platform cell through ScenarioDriver, the same
+// code path `aimetro_run` and the tests use. Nothing here hand-builds
+// traces anymore; a new workload is a registry entry, not a bench edit.
 #pragma once
 
 #include <string>
@@ -11,6 +13,7 @@
 
 #include "common/strings.h"
 #include "replay/experiment.h"
+#include "scenario/spec.h"
 #include "trace/generator.h"
 #include "world/grid_map.h"
 
@@ -22,14 +25,32 @@ inline constexpr Step kBusyEnd = 4680;     // 13:00
 inline constexpr Step kQuietBegin = 2160;  // 06:00
 inline constexpr Step kQuietEnd = 2520;    // 07:00
 
-/// Full-day 25-agent SmallVille trace (cached per seed).
-const trace::SimulationTrace& smallville_day(std::uint64_t seed = 42);
+/// Resolve a registry scenario and apply `key = value` overrides on top.
+/// Check-fails on unknown scenario names, keys, or invalid final specs, so
+/// a harness cannot silently drift off the registry.
+scenario::ScenarioSpec registry_spec(
+    const std::string& name, const std::vector<std::string>& overrides = {});
 
-/// Concatenated ville with `n_agents` (multiple of 25) agents.
-trace::SimulationTrace large_ville(std::int32_t n_agents,
-                                   std::uint64_t seed = 42);
+/// The full-day trace of `spec` (its window cleared), built by
+/// ScenarioDriver::build_trace and cached — harnesses slice several
+/// windows out of one generation.
+const trace::SimulationTrace& registry_day_trace(
+    const scenario::ScenarioSpec& spec);
 
-/// Platform presets from §4.1.
+/// The spec's replay window of the cached full day (the whole day when the
+/// spec has no window).
+trace::SimulationTrace registry_window(const scenario::ScenarioSpec& spec);
+
+/// The DES platform cell `spec` describes (model/GPU resolved, TP x DP
+/// applied) — ScenarioDriver::experiment_config.
+replay::ExperimentConfig registry_platform(const scenario::ScenarioSpec& spec);
+
+/// The scenario name covering `n_agents` agents: the paper's calibrated
+/// 25-agent day, or its §4.3 scaling construction (`scaling_ville<N>`,
+/// n_agents a multiple of 25).
+std::string ville_scenario_name(std::int32_t n_agents);
+
+/// Platform presets from §4.1, resolved through the spec layer.
 replay::ExperimentConfig l4_llama8b(std::int32_t gpus);
 replay::ExperimentConfig a100_llama70b(std::int32_t gpus);   // TP4 (+DP)
 replay::ExperimentConfig a100_mixtral(std::int32_t gpus);    // TP2 (+DP)

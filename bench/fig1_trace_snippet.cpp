@@ -11,8 +11,10 @@ using namespace aimetro;
 int main() {
   bench::print_header(
       "Figure 1 — execution trace snippet (parallel-sync, 25 agents)");
-  const auto busy = trace::slice(bench::smallville_day(), bench::kBusyBegin,
-                                 bench::kBusyBegin + 40);
+  const auto busy = bench::registry_window(bench::registry_spec(
+      "smallville_day",
+      {strformat("window_begin=%d", bench::kBusyBegin),
+       strformat("window_end=%d", bench::kBusyBegin + 40)}));
   auto cfg = bench::l4_llama8b(1);
   cfg.record_gantt = true;
   const auto result =

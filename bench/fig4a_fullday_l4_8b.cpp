@@ -15,7 +15,10 @@ using namespace aimetro;
 int main() {
   bench::print_header(
       "Figure 4a — full day, 25 agents, Llama-3-8B on NVIDIA L4");
-  const auto& day = bench::smallville_day();
+  // The registry's calibrated day, full-day window (the entry defaults to
+  // the busy hour).
+  const auto& day =
+      bench::registry_day_trace(bench::registry_spec("smallville_day"));
   const std::vector<int> widths{6, 14, 14, 14, 14, 14};
   bench::print_row({"gpus", "single-thread", "parallel-sync", "metropolis",
                     "oracle", "critical"},

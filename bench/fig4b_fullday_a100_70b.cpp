@@ -12,7 +12,8 @@ using namespace aimetro;
 int main() {
   bench::print_header(
       "Figure 4b — full day, 25 agents, Llama-3-70B on NVIDIA A100");
-  const auto& day = bench::smallville_day();
+  const auto& day =
+      bench::registry_day_trace(bench::registry_spec("smallville_day"));
   const std::vector<int> widths{6, 14, 14, 14, 14, 14};
   bench::print_row({"gpus", "single-thread", "parallel-sync", "metropolis",
                     "oracle", "critical"},

@@ -10,7 +10,8 @@ using namespace aimetro;
 
 int main() {
   bench::print_header("Figure 4c — LLM query distribution over simulated hours");
-  const auto stats = trace::compute_stats(bench::smallville_day());
+  const auto stats = trace::compute_stats(
+      bench::registry_day_trace(bench::registry_spec("smallville_day")));
   std::size_t peak = 1;
   for (auto c : stats.calls_per_hour) peak = std::max(peak, c);
   for (int h = 0; h < 24; ++h) {

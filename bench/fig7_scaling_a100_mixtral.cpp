@@ -23,11 +23,12 @@ int main(int argc, char** argv) {
         {"agents", "parallel-sync", "metropolis", "oracle", "gpu-limit"},
         widths);
     for (int agents : agent_counts) {
-      const auto ville = agents == 25 ? bench::smallville_day()
-                                      : bench::large_ville(agents);
-      const auto window =
-          busy ? trace::slice(ville, bench::kBusyBegin, bench::kBusyEnd)
-               : trace::slice(ville, bench::kQuietBegin, bench::kQuietEnd);
+      const auto window = bench::registry_window(bench::registry_spec(
+          bench::ville_scenario_name(agents),
+          {strformat("window_begin=%d", busy ? bench::kBusyBegin
+                                             : bench::kQuietBegin),
+           strformat("window_end=%d",
+                     busy ? bench::kBusyEnd : bench::kQuietEnd)}));
       const auto cfg = bench::a100_mixtral(8);
       const auto sync =
           bench::run_mode(window, cfg, replay::Mode::kParallelSync);

@@ -15,8 +15,10 @@ int main(int argc, char** argv) {
   const bool quick = argc > 1 && std::string(argv[1]) == "--quick";
   bench::print_header(
       "Table 1 — priority scheduling ablation (busy hour, 500 agents, L4)");
-  const auto ville = bench::large_ville(quick ? 100 : 500);
-  const auto busy = trace::slice(ville, bench::kBusyBegin, bench::kBusyEnd);
+  const auto busy = bench::registry_window(bench::registry_spec(
+      bench::ville_scenario_name(quick ? 100 : 500),
+      {strformat("window_begin=%d", bench::kBusyBegin),
+       strformat("window_end=%d", bench::kBusyEnd)}));
   const std::vector<int> widths{18, 12, 12, 12, 12};
   bench::print_row({"", "metro 4gpu", "metro 8gpu", "oracle 4gpu",
                     "oracle 8gpu"},

@@ -12,18 +12,24 @@ std::int32_t estimate_tokens(const std::string& text) {
   return static_cast<std::int32_t>(text.size() / 4) + 1;
 }
 
+std::string deterministic_completion_text(std::uint64_t seed,
+                                          const std::string& prompt) {
+  // Deterministic digest of the prompt drives the "decision" text.
+  std::uint64_t h = seed;
+  for (unsigned char c : prompt) h = splitmix64(h ^ c);
+  return strformat("decision:%016llx", static_cast<unsigned long long>(h));
+}
+
 CompletionResult FakeLlmClient::complete(const CompletionRequest& request) {
   calls_.fetch_add(1, std::memory_order_relaxed);
   if (latency_us_ > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(latency_us_));
   }
-  // Deterministic digest of the prompt drives the "decision" text.
-  std::uint64_t h = seed_;
-  for (unsigned char c : request.prompt) h = splitmix64(h ^ c);
   CompletionResult result;
-  result.prompt_tokens = estimate_tokens(request.prompt);
-  result.text = strformat("decision:%016llx",
-                          static_cast<unsigned long long>(h));
+  result.prompt_tokens = request.prompt_tokens > 0
+                             ? request.prompt_tokens
+                             : estimate_tokens(request.prompt);
+  result.text = deterministic_completion_text(seed_, request.prompt);
   result.output_tokens = estimate_tokens(result.text);
   return result;
 }

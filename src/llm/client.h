@@ -17,6 +17,9 @@ namespace aimetro::llm {
 
 struct CompletionRequest {
   std::string prompt;
+  /// Exact prompt length when the caller knows it (trace replay carries
+  /// token counts); 0 = estimate from `prompt` text.
+  std::int32_t prompt_tokens = 0;
   std::int32_t max_tokens = 128;
   std::int64_t priority = 0;  // simulation step (smaller = more urgent)
 };
@@ -57,5 +60,12 @@ class FakeLlmClient : public LlmClient {
 /// Rough byte-length token estimate used by the fake backend (1 token ~ 4
 /// characters), mirroring common tokenizer heuristics.
 std::int32_t estimate_tokens(const std::string& text);
+
+/// The deterministic "decision" text both fake backends return: a pure
+/// digest of (seed, prompt). Shared so swapping FakeLlmClient for
+/// CostModelLlmClient changes latencies but never agent behaviour — the
+/// OOO-equivalence world hashes stay identical across client backends.
+std::string deterministic_completion_text(std::uint64_t seed,
+                                          const std::string& prompt);
 
 }  // namespace aimetro::llm

@@ -1,0 +1,119 @@
+#include "llm/cost_model_client.h"
+
+#include <algorithm>
+#include <iterator>
+
+#include "common/check.h"
+
+namespace aimetro::llm {
+
+CostModelLlmClient::CostModelLlmClient(CostModel cost,
+                                       const runtime::SimClock* clock,
+                                       CostModelClientConfig cfg)
+    : cost_(std::move(cost)), clock_(clock), cfg_(cfg) {
+  AIM_CHECK(clock_ != nullptr);
+  AIM_CHECK(cfg_.data_parallel >= 1);
+  AIM_CHECK(cfg_.max_running_requests >= 1);
+  AIM_CHECK(cfg_.max_prefill_tokens_per_iter >= 1);
+  replicas_.resize(static_cast<std::size_t>(cfg_.data_parallel));
+}
+
+SimTime CostModelLlmClient::virtual_latency(
+    std::int64_t prompt_tokens, std::int64_t output_tokens,
+    std::int32_t decode_batch, std::int64_t kv_resident_tokens) const {
+  SimTime t = 0;
+  std::int64_t remaining = prompt_tokens;
+  while (remaining > 0) {
+    const std::int64_t chunk =
+        std::min(remaining, cfg_.max_prefill_tokens_per_iter);
+    t += cost_.iteration_time(0, chunk, 0);
+    remaining -= chunk;
+  }
+  // Continuous batching decodes one token per running request per
+  // iteration, so a request's decode time is output_tokens iterations at
+  // the batch it runs in — nearly flat in batch size (memory-bound),
+  // which is exactly what makes parallelism pay.
+  t += output_tokens * cost_.iteration_time(decode_batch, 0,
+                                            kv_resident_tokens);
+  return t;
+}
+
+CompletionResult CostModelLlmClient::complete(
+    const CompletionRequest& request) {
+  const std::int64_t prompt_tokens = request.prompt_tokens > 0
+                                         ? request.prompt_tokens
+                                         : estimate_tokens(request.prompt);
+  const std::int64_t output_tokens =
+      std::max<std::int64_t>(1, request.max_tokens);
+  const std::int64_t kv_footprint = prompt_tokens + output_tokens;
+
+  SimTime finish = 0;
+  std::size_t replica_idx = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const SimTime arrival = clock_->now();
+    // Least-loaded routing, lowest index on ties (Cluster::route).
+    replica_idx = 0;
+    for (std::size_t i = 1; i < replicas_.size(); ++i) {
+      if (replicas_[i].running < replicas_[replica_idx].running) {
+        replica_idx = i;
+      }
+    }
+    ReplicaState& r = replicas_[replica_idx];
+    // At capacity the call queues (in virtual time) until in-flight work
+    // drops below the cap: with `running` calls ahead of it, it starts
+    // once running - cap + 1 of their finishes have passed — each
+    // overflow call waits for its own slot, not just the earliest one.
+    // No preemption, matching the paper.
+    SimTime start = arrival;
+    if (r.running >= cfg_.max_running_requests) {
+      auto slot = r.finishes.begin();
+      std::advance(slot, r.running - cfg_.max_running_requests);
+      start = std::max(start, *slot);
+    }
+    const std::int32_t decode_batch =
+        std::min(r.running + 1, cfg_.max_running_requests);
+    const SimTime service = virtual_latency(
+        prompt_tokens, output_tokens, decode_batch, r.kv_tokens + kv_footprint);
+    finish = start + service;
+    r.running += 1;
+    r.kv_tokens += kv_footprint;
+    r.finishes.insert(finish);
+    peak_batch_ = std::max(peak_batch_, decode_batch);
+  }
+
+  clock_->sleep_until(finish);
+
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ReplicaState& r = replicas_[replica_idx];
+    r.running -= 1;
+    r.kv_tokens -= kv_footprint;
+    r.finishes.erase(r.finishes.find(finish));
+    last_finish_ = std::max(last_finish_, finish);
+    calls_ += 1;
+  }
+
+  CompletionResult result;
+  result.prompt_tokens = static_cast<std::int32_t>(prompt_tokens);
+  result.text = deterministic_completion_text(cfg_.seed, request.prompt);
+  result.output_tokens = estimate_tokens(result.text);
+  return result;
+}
+
+std::uint64_t CostModelLlmClient::calls() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return calls_;
+}
+
+SimTime CostModelLlmClient::last_finish() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_finish_;
+}
+
+std::int32_t CostModelLlmClient::peak_batch() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_batch_;
+}
+
+}  // namespace aimetro::llm

@@ -1,0 +1,92 @@
+// A blocking LlmClient whose latencies come from the DES cost model.
+//
+// FakeLlmClient sleeps a fixed configured latency per call, so engine-
+// backend completion times measured with it say nothing about a real
+// serving platform. CostModelLlmClient instead prices every call on the
+// same llm::CostModel the discrete-event simulator uses — chunked prefill
+// plus one decode iteration per output token at the replica's current
+// batch size — and routes calls across `data_parallel` replica queues the
+// way llm::Cluster routes requests (least-loaded replica, capacity-gated
+// admission). The computed latency is served on a runtime::SimClock:
+// callers block for latency/scale wall time while the full latency
+// advances on the virtual axis, so the threaded engine's serial and
+// metropolis runs report virtual seconds directly comparable to the DES
+// backend's numbers for the same workload.
+//
+// Approximations vs. the event-driven Cluster (documented in README):
+// decode batch is sampled once at admission instead of re-priced every
+// iteration, prefill does not share iterations with co-resident decodes,
+// and the KV-resident footprint counts whole requests (prompt + full
+// output) rather than growing token by token.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+#include "llm/client.h"
+#include "llm/cost_model.h"
+#include "runtime/sim_clock.h"
+
+namespace aimetro::llm {
+
+struct CostModelClientConfig {
+  /// Independent replica queues, as ParallelismConfig::data_parallel.
+  std::int32_t data_parallel = 1;
+  /// Per-replica admission cap; calls past it queue for a slot in virtual
+  /// time (mirrors ReplicaConfig::max_running_requests).
+  std::int32_t max_running_requests = 256;
+  /// Chunked-prefill budget per iteration (mirrors ReplicaConfig).
+  std::int64_t max_prefill_tokens_per_iter = 8192;
+  /// Seed for the deterministic response text.
+  std::uint64_t seed = 1;
+};
+
+class CostModelLlmClient : public LlmClient {
+ public:
+  /// `clock` must outlive the client and is shared with the caller, which
+  /// reads the run's virtual completion time from it.
+  CostModelLlmClient(CostModel cost, const runtime::SimClock* clock,
+                     CostModelClientConfig cfg = {});
+
+  CompletionResult complete(const CompletionRequest& request) override;
+
+  /// Pure latency model, exposed so tests can pin it against
+  /// CostModel::iteration_time: chunked prefill of `prompt_tokens`, then
+  /// `output_tokens` decode iterations at `decode_batch` with
+  /// `kv_resident_tokens` of context resident on the replica.
+  SimTime virtual_latency(std::int64_t prompt_tokens,
+                          std::int64_t output_tokens,
+                          std::int32_t decode_batch,
+                          std::int64_t kv_resident_tokens) const;
+
+  const CostModel& cost_model() const { return cost_; }
+  std::uint64_t calls() const;
+  /// Latest virtual finish time across all completed calls.
+  SimTime last_finish() const;
+  /// Largest decode batch any call was admitted at (diagnostics).
+  std::int32_t peak_batch() const;
+
+ private:
+  struct ReplicaState {
+    std::int32_t running = 0;
+    std::int64_t kv_tokens = 0;
+    /// Virtual finish times of in-flight calls (slot release schedule).
+    std::multiset<SimTime> finishes;
+  };
+
+  CostModel cost_;
+  const runtime::SimClock* clock_;
+  CostModelClientConfig cfg_;
+
+  mutable std::mutex mutex_;
+  std::vector<ReplicaState> replicas_;
+  std::uint64_t calls_ = 0;
+  SimTime last_finish_ = 0;
+  std::int32_t peak_batch_ = 0;
+};
+
+}  // namespace aimetro::llm

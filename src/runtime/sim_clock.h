@@ -1,0 +1,54 @@
+// Virtual-time clock for the live threaded engine.
+//
+// The DES backend reports completion in cost-model virtual seconds while
+// the threaded engine could only measure real sleeps — so the two
+// backends' numbers were not comparable. SimClock closes that gap: it maps
+// the wall clock onto a virtual time axis at a fixed `scale` (virtual
+// microseconds advanced per wall microsecond), so a client that computes a
+// request's virtual latency from llm::CostModel can block its caller for
+// latency/scale of real time. Real thread concurrency then plays out at
+// scaled speed, and the measured virtual elapsed time is directly
+// comparable to the DES backend's virtual seconds.
+//
+// scale = 1 degenerates to the wall clock; large scales compress hours of
+// simulated GPU time into seconds of wall time. sleep_until() finishes
+// with a short spin so per-call oversleep stays ~the spin window rather
+// than the scheduler's wakeup jitter — at scale 1000 a 100 us oversleep
+// would otherwise inflate every sequential call by 0.1 virtual seconds.
+#pragma once
+
+#include <chrono>
+
+#include "common/types.h"
+
+namespace aimetro::runtime {
+
+class SimClock {
+ public:
+  /// `scale`: virtual microseconds advanced per wall microsecond (> 0).
+  explicit SimClock(double scale = 1.0);
+
+  double scale() const { return scale_; }
+
+  /// Re-zero the virtual axis at the current wall instant, excluding setup
+  /// work done since construction from the measured run. Not thread-safe;
+  /// call before handing the clock to workers.
+  void restart() { origin_ = std::chrono::steady_clock::now(); }
+
+  /// Virtual microseconds elapsed since construction. Thread-safe,
+  /// monotone non-decreasing across calls from one thread.
+  SimTime now() const;
+
+  /// Virtual seconds elapsed since construction.
+  double elapsed_seconds() const { return sim_time_to_seconds(now()); }
+
+  /// Block the calling thread until now() >= t. Returns immediately when t
+  /// is already past. Thread-safe.
+  void sleep_until(SimTime t) const;
+
+ private:
+  double scale_;
+  std::chrono::steady_clock::time_point origin_;
+};
+
+}  // namespace aimetro::runtime

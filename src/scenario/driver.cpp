@@ -5,6 +5,7 @@
 #include <cmath>
 #include <memory>
 #include <shared_mutex>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -14,8 +15,10 @@
 #include "gym/agents.h"
 #include "gym/env.h"
 #include "llm/client.h"
+#include "llm/cost_model_client.h"
 #include "llm/specs.h"
 #include "runtime/engine.h"
+#include "runtime/sim_clock.h"
 #include "trace/generator.h"
 #include "world/world_state.h"
 
@@ -39,9 +42,12 @@ std::uint64_t digest_states(const std::vector<std::pair<Step, Pos>>& states) {
   return h;
 }
 
+/// Generator settings shared by every segment; the per-segment population
+/// is decided by segment_agent_counts (n_agents here is a placeholder the
+/// per-segment overload overrides).
 trace::GeneratorConfig generator_config(const ScenarioSpec& spec) {
   trace::GeneratorConfig cfg;
-  cfg.n_agents = spec.agents / spec.segments;
+  cfg.n_agents = spec.agents;
   cfg.steps_per_day = spec.steps_per_day;
   cfg.seed = spec.seed;
   cfg.radius_p = spec.radius_p;
@@ -70,11 +76,54 @@ world::GridMap segment_map(const ScenarioSpec& spec) {
   return world::GridMap(1, 1);
 }
 
-double wall_seconds_since(
-    const std::chrono::steady_clock::time_point& start) {
-  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                       start)
-      .count();
+/// One engine run's LLM stack, per the spec's clock: a fixed-latency fake
+/// measured on the wall clock, or a CostModelLlmClient pricing calls on
+/// the spec's model/GPU/parallelism over a scaled virtual SimClock.
+struct EngineLlmStack {
+  std::unique_ptr<runtime::SimClock> clock;  // virtual mode only
+  std::unique_ptr<llm::FakeLlmClient> fake;
+  std::unique_ptr<llm::CostModelLlmClient> priced;
+  std::chrono::steady_clock::time_point wall_start;
+
+  llm::LlmClient& client() {
+    return priced != nullptr ? static_cast<llm::LlmClient&>(*priced) : *fake;
+  }
+  std::uint64_t calls() const {
+    return priced != nullptr ? priced->calls() : fake->calls();
+  }
+  void start_timing() {
+    wall_start = std::chrono::steady_clock::now();
+    if (clock != nullptr) clock->restart();
+  }
+  /// Completion in report units: virtual seconds when priced, else wall.
+  double completion_seconds() const {
+    if (clock != nullptr) return clock->elapsed_seconds();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         wall_start)
+        .count();
+  }
+};
+
+EngineLlmStack make_engine_llm(const ScenarioSpec& spec) {
+  EngineLlmStack stack;
+  if (spec.clock == ClockKind::kVirtual) {
+    const auto model = llm::find_model(spec.model);
+    const auto gpu = llm::find_gpu(spec.gpu);
+    AIM_CHECK_MSG(model.has_value(), "unknown model " << spec.model);
+    AIM_CHECK_MSG(gpu.has_value(), "unknown GPU " << spec.gpu);
+    llm::CostModelClientConfig cfg;
+    cfg.data_parallel = spec.data_parallel;
+    cfg.seed = spec.seed;
+    stack.clock = std::make_unique<runtime::SimClock>(spec.time_scale);
+    stack.priced = std::make_unique<llm::CostModelLlmClient>(
+        llm::CostModel(*model, *gpu, spec.tensor_parallel), stack.clock.get(),
+        cfg);
+  } else {
+    stack.fake =
+        std::make_unique<llm::FakeLlmClient>(spec.seed, spec.call_latency_us);
+  }
+  stack.start_timing();
+  return stack;
 }
 
 std::int32_t sign(std::int32_t d) { return d > 0 ? 1 : (d < 0 ? -1 : 0); }
@@ -104,19 +153,28 @@ std::string ScenarioReport::summary() const {
       scenario.c_str(), backend_name(backend), agents, steps,
       static_cast<unsigned long long>(total_calls),
       static_cast<unsigned long long>(agent_steps));
-  const char* unit = backend == Backend::kDes ? "s (virtual)" : "s (wall)";
+  const char* unit = virtual_time ? "s (virtual)" : "s (wall)";
   // DES: one global cursor. Engine: 1 worker (trace maps) or lock-step
-  // (arena maps) — the pre-metropolis baseline either way.
-  out += strformat("baseline    %10.2f%s\n", serial_seconds, unit);
+  // (arena maps) — the pre-metropolis baseline either way. Omitted
+  // entirely when the baseline run was skipped.
+  if (has_serial) {
+    out += strformat("baseline    %10.2f%s\n", serial_seconds, unit);
+  }
   if (backend == Backend::kDes) {
     out += strformat("sync        %10.2f%s\n", sync_seconds, unit);
   }
-  out += strformat("metropolis  %10.2f%s   (%.2fx vs serial", metro_seconds,
-                   unit, speedup_vs_serial);
-  if (backend == Backend::kDes) {
-    out += strformat(", %.2fx vs sync", speedup_vs_sync);
+  out += strformat("metropolis  %10.2f%s", metro_seconds, unit);
+  std::vector<std::string> speedups;
+  if (has_serial) {
+    speedups.push_back(strformat("%.2fx vs serial", speedup_vs_serial));
   }
-  out += ")\n";
+  if (backend == Backend::kDes) {
+    speedups.push_back(strformat("%.2fx vs sync", speedup_vs_sync));
+  }
+  if (!speedups.empty()) {
+    out += strformat("   (%s)", join(speedups, ", ").c_str());
+  }
+  out += "\n";
   if (backend == Backend::kDes) {
     out += strformat("parallelism=%.2f  ", avg_parallelism);
   }
@@ -157,8 +215,11 @@ trace::SimulationTrace ScenarioDriver::build_trace() const {
                 "arena maps have no generated trace");
   const world::GridMap segment = segment_map(spec_);
   const trace::GeneratorConfig cfg = generator_config(spec_);
-  trace::SimulationTrace full =
-      trace::generate_concatenated(segment, spec_.segments, cfg);
+  trace::SimulationTrace full = trace::generate_concatenated(
+      segment, segment_agent_counts(spec_.agents, spec_.segments), cfg);
+  AIM_CHECK_MSG(full.n_agents == spec_.agents,
+                "segment split lost agents: " << full.n_agents << " vs "
+                                              << spec_.agents);
   if (spec_.window_begin >= 0) {
     return trace::slice(full, spec_.window_begin, spec_.window_end);
   }
@@ -176,6 +237,57 @@ replay::ExperimentConfig ScenarioDriver::experiment_config() const {
   cfg.parallelism =
       llm::ParallelismConfig{spec_.tensor_parallel, spec_.data_parallel};
   return cfg;
+}
+
+std::vector<std::int32_t> segment_agent_counts(std::int32_t agents,
+                                               std::int32_t segments) {
+  AIM_CHECK(segments >= 1 && agents >= segments);
+  const std::int32_t base = agents / segments;
+  const std::int32_t remainder = agents % segments;
+  std::vector<std::int32_t> counts(static_cast<std::size_t>(segments), base);
+  for (std::int32_t k = 0; k < remainder; ++k) counts[k] += 1;
+  return counts;
+}
+
+std::vector<Tile> plan_gym_starts(const world::GridMap& map, std::int32_t n) {
+  AIM_CHECK(n >= 1);
+  // Anchor tiles on an evenly spaced grid with margins (the historical
+  // layout), then snap each anchor to the nearest walkable tile no other
+  // agent holds — ring search in deterministic scan order. The old clamp
+  // to width-1/height-1 could stack agents on one tile when the grid
+  // overflowed the map.
+  const std::int32_t cols = std::max<std::int32_t>(
+      1, static_cast<std::int32_t>(std::ceil(std::sqrt(n))));
+  const std::int32_t rows = (n + cols - 1) / cols;
+  const std::int32_t dx = std::max<std::int32_t>(1, (map.width() - 6) / cols);
+  const std::int32_t dy = std::max<std::int32_t>(1, (map.height() - 6) / rows);
+  const std::int32_t max_ring = std::max(map.width(), map.height());
+
+  std::unordered_set<Tile, TileHash> taken;
+  std::vector<Tile> starts;
+  starts.reserve(static_cast<std::size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) {
+    const Tile anchor{
+        std::min(map.width() - 1, 3 + (i % cols) * dx),
+        std::min(map.height() - 1, 3 + (i / cols) * dy)};
+    bool placed = false;
+    for (std::int32_t ring = 0; ring <= max_ring && !placed; ++ring) {
+      for (std::int32_t oy = -ring; oy <= ring && !placed; ++oy) {
+        for (std::int32_t ox = -ring; ox <= ring && !placed; ++ox) {
+          if (std::max(std::abs(ox), std::abs(oy)) != ring) continue;
+          const Tile t{anchor.x + ox, anchor.y + oy};
+          if (!map.walkable(t) || taken.count(t) != 0) continue;
+          taken.insert(t);
+          starts.push_back(t);
+          placed = true;
+        }
+      }
+    }
+    AIM_CHECK_MSG(placed, "map cannot seat " << n << " agents: no free "
+                          "walkable tile near (" << anchor.x << ","
+                          << anchor.y << ")");
+  }
+  return starts;
 }
 
 ScenarioReport ScenarioDriver::run(bool serial_baseline) const {
@@ -213,6 +325,8 @@ ScenarioReport ScenarioDriver::run_des(bool serial_baseline) const {
   r.total_calls = metro.total_calls;
   r.agent_steps = static_cast<std::uint64_t>(
       std::llround(metro.scoreboard.sum_cluster_sizes));
+  r.has_serial = serial_baseline;
+  r.virtual_time = true;  // the DES backend always reports virtual time
   r.serial_seconds = serial.completion_seconds;
   r.sync_seconds = sync.completion_seconds;
   r.metro_seconds = metro.completion_seconds;
@@ -241,7 +355,7 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
   }
 
   struct RunOutcome {
-    double wall_seconds = 0.0;
+    double completion_seconds = 0.0;  // virtual or wall, per spec clock
     runtime::EngineStats stats;
     std::uint64_t calls = 0;
     std::uint64_t digest = 0;
@@ -255,7 +369,8 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
   // to a conflict just lags and retries), and every traced LLM call is
   // issued through the blocking client shim from the worker threads.
   auto run_once = [&](std::int32_t workers) {
-    llm::FakeLlmClient client(spec_.seed, spec_.call_latency_us);
+    EngineLlmStack llm_stack = make_engine_llm(spec_);
+    llm::LlmClient& client = llm_stack.client();
     std::vector<Tile> starts;
     starts.reserve(static_cast<std::size_t>(tr.n_agents));
     for (AgentId a = 0; a < tr.n_agents; ++a) {
@@ -269,23 +384,52 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
     ecfg.n_workers = workers;
     ecfg.kv_instrumentation = false;
 
-    auto step_fn = [&](const core::AgentCluster& cluster,
-                       const world::WorldState& w) {
-      std::vector<world::StepIntent> intents;
-      intents.reserve(cluster.members.size());
+    // One agent's traced calls for a step, issued in chain order (calls
+    // within a chain are serial by definition).
+    auto issue_chain = [&](AgentId m, Step abs_step) {
+      const auto& by_step = chains[static_cast<std::size_t>(m)];
+      const auto it = by_step.find(abs_step);
+      if (it == by_step.end()) return;
+      for (const trace::LlmCall* call : it->second) {
+        llm::CompletionRequest req;
+        req.prompt = strformat("agent=%d step=%d type=%s", m, abs_step,
+                               trace::call_type_name(call->type));
+        req.prompt_tokens = call->input_tokens;
+        req.max_tokens = call->output_tokens;
+        req.priority = abs_step;
+        client.complete(req);
+      }
+    };
+
+    // Distinct members' chains are independent, so they run concurrently —
+    // matching the DES replay, which submits every member's chain on
+    // dispatch. The 1-worker baseline keeps them serial: it models the
+    // original implementation's single global cursor.
+    const bool parallel_chains = workers > 1;
+    auto step_fn = [&, parallel_chains](const core::AgentCluster& cluster,
+                                        const world::WorldState& w) {
       const Step abs_step = tr.start_step + cluster.step;
+      std::vector<AgentId> with_calls;
       for (AgentId m : cluster.members) {
         const auto& by_step = chains[static_cast<std::size_t>(m)];
-        if (auto it = by_step.find(abs_step); it != by_step.end()) {
-          for (const trace::LlmCall* call : it->second) {
-            llm::CompletionRequest req;
-            req.prompt = strformat("agent=%d step=%d type=%s", m, abs_step,
-                                   trace::call_type_name(call->type));
-            req.max_tokens = call->output_tokens;
-            req.priority = abs_step;
-            client.complete(req);
-          }
+        if (by_step.count(abs_step) != 0) with_calls.push_back(m);
+      }
+      if (parallel_chains && with_calls.size() > 1) {
+        std::vector<std::thread> threads;
+        threads.reserve(with_calls.size());
+        for (AgentId m : with_calls) {
+          threads.emplace_back([&issue_chain, m, abs_step] {
+            issue_chain(m, abs_step);
+          });
         }
+        for (std::thread& t : threads) t.join();
+      } else {
+        for (AgentId m : with_calls) issue_chain(m, abs_step);
+      }
+
+      std::vector<world::StepIntent> intents;
+      intents.reserve(cluster.members.size());
+      for (AgentId m : cluster.members) {
         Tile current;
         {
           std::shared_lock<std::shared_mutex> lock(w.mutex());
@@ -303,10 +447,10 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
 
     RunOutcome out;
     runtime::Engine engine(&world, ecfg, step_fn);
-    const auto start = std::chrono::steady_clock::now();
+    llm_stack.start_timing();
     out.stats = engine.run();
-    out.wall_seconds = wall_seconds_since(start);
-    out.calls = client.calls();
+    out.completion_seconds = llm_stack.completion_seconds();
+    out.calls = llm_stack.calls();
     AIM_CHECK(engine.scoreboard().all_done());
     std::vector<std::pair<Step, Pos>> states;
     for (AgentId a = 0; a < tr.n_agents; ++a) {
@@ -330,8 +474,10 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
   r.steps = tr.n_steps;
   r.total_calls = metro.calls;
   r.agent_steps = metro.stats.agent_steps;
-  r.serial_seconds = serial.wall_seconds;
-  r.metro_seconds = metro.wall_seconds;
+  r.has_serial = serial_baseline;
+  r.virtual_time = spec_.clock == ClockKind::kVirtual;
+  r.serial_seconds = serial.completion_seconds;
+  r.metro_seconds = metro.completion_seconds;
   if (serial_baseline && r.metro_seconds > 0.0) {
     r.speedup_vs_serial = r.serial_seconds / r.metro_seconds;
   }
@@ -347,18 +493,7 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
 ScenarioReport ScenarioDriver::run_engine_gym(bool serial_baseline) const {
   const world::GridMap map = build_map();
   const std::int32_t n = spec_.agents;
-
-  // Spread starts over a grid with margins.
-  const std::int32_t cols = std::max<std::int32_t>(
-      1, static_cast<std::int32_t>(std::ceil(std::sqrt(n))));
-  const std::int32_t rows = (n + cols - 1) / cols;
-  const std::int32_t dx = std::max<std::int32_t>(1, (map.width() - 6) / cols);
-  const std::int32_t dy = std::max<std::int32_t>(1, (map.height() - 6) / rows);
-  std::vector<Tile> starts;
-  for (std::int32_t i = 0; i < n; ++i) {
-    starts.push_back(Tile{std::min(map.width() - 1, 3 + (i % cols) * dx),
-                          std::min(map.height() - 1, 3 + (i / cols) * dy)});
-  }
+  const std::vector<Tile> starts = plan_gym_starts(map, n);
 
   auto make_agents = [&] {
     std::vector<std::unique_ptr<gym::Agent>> agents;
@@ -374,26 +509,26 @@ ScenarioReport ScenarioDriver::run_engine_gym(bool serial_baseline) const {
   cfg.target_step = spec_.sim_steps();
   cfg.n_workers = spec_.workers;
 
-  // Baseline: lock-step execution (Algorithm 1), same LLM latency.
+  // Baseline: lock-step execution (Algorithm 1), same LLM pricing.
   double serial_secs = 0.0;
   std::uint64_t serial_hash = 0;
   if (serial_baseline) {
     cfg.out_of_order = false;
-    llm::FakeLlmClient llm_serial(spec_.seed, spec_.call_latency_us);
-    gym::Env lockstep(&map, starts, make_agents(), &llm_serial, cfg);
-    const auto serial_start = std::chrono::steady_clock::now();
+    EngineLlmStack llm_serial = make_engine_llm(spec_);
+    gym::Env lockstep(&map, starts, make_agents(), &llm_serial.client(), cfg);
+    llm_serial.start_timing();
     lockstep.run();
-    serial_secs = wall_seconds_since(serial_start);
+    serial_secs = llm_serial.completion_seconds();
     serial_hash = lockstep.state_hash();
   }
 
   // Out-of-order on the AI Metropolis engine (Algorithm 3).
   cfg.out_of_order = true;
-  llm::FakeLlmClient llm_metro(spec_.seed, spec_.call_latency_us);
-  gym::Env metro(&map, starts, make_agents(), &llm_metro, cfg);
-  const auto metro_start = std::chrono::steady_clock::now();
+  EngineLlmStack llm_metro = make_engine_llm(spec_);
+  gym::Env metro(&map, starts, make_agents(), &llm_metro.client(), cfg);
+  llm_metro.start_timing();
   const auto metro_stats = metro.run();
-  const double metro_secs = wall_seconds_since(metro_start);
+  const double metro_secs = llm_metro.completion_seconds();
 
   ScenarioReport r;
   r.scenario = spec_.name;
@@ -402,6 +537,8 @@ ScenarioReport ScenarioDriver::run_engine_gym(bool serial_baseline) const {
   r.steps = spec_.sim_steps();
   r.total_calls = llm_metro.calls();
   r.agent_steps = metro_stats.agent_steps;
+  r.has_serial = serial_baseline;
+  r.virtual_time = spec_.clock == ClockKind::kVirtual;
   r.serial_seconds = serial_secs;
   r.metro_seconds = metro_secs;
   if (serial_baseline && metro_secs > 0.0) {

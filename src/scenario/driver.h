@@ -8,10 +8,14 @@
 //     single-thread, parallel-sync, and metropolis scheduling — the
 //     paper's evaluation pipeline, with cost-model GPUs.
 //   - Engine backend: run the workload on the live threaded
-//     runtime::Engine in wall-clock time. Trace-bearing maps replay the
-//     same generated trace through the engine's scoreboard (so both
-//     backends execute the identical workload); arena maps run live
-//     LLM-driven gym agents lock-step and out-of-order instead.
+//     runtime::Engine. Trace-bearing maps replay the same generated trace
+//     through the engine's scoreboard (so both backends execute the
+//     identical workload); arena maps run live LLM-driven gym agents
+//     lock-step and out-of-order instead. Under `clock = wall` LLM calls
+//     sleep a fixed fake latency and times are wall seconds; under
+//     `clock = virtual` calls are priced on the spec's model/GPU via the
+//     DES cost model (CostModelLlmClient on a SimClock) and times are
+//     virtual seconds directly comparable to the DES backend.
 //
 // Either way the result is one ScenarioReport — speedup over serial,
 // achieved parallelism, mean cluster size, mean blockers — so scheduler
@@ -19,6 +23,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "replay/experiment.h"
 #include "scenario/spec.h"
@@ -35,14 +40,21 @@ struct ScenarioReport {
   std::uint64_t total_calls = 0;
   std::uint64_t agent_steps = 0;  // committed (agent, step) pairs
 
-  /// Completion times in seconds: virtual for the DES backend, wall-clock
-  /// for the engine backend. `sync_seconds` is DES-only (lock-step with a
-  /// global barrier); serial is one global cursor / one worker.
+  /// Completion times in seconds: virtual for the DES backend and for the
+  /// engine backend under clock = virtual, wall-clock otherwise.
+  /// `sync_seconds` is DES-only (lock-step with a global barrier); serial
+  /// is one global cursor / one worker.
   double serial_seconds = 0.0;
   double sync_seconds = 0.0;
   double metro_seconds = 0.0;
   double speedup_vs_serial = 0.0;
   double speedup_vs_sync = 0.0;
+  /// True when the serial/lock-step baseline actually ran; summary() omits
+  /// the baseline line and serial speedup otherwise.
+  bool has_serial = false;
+  /// Engine backend: times above are cost-model virtual seconds (clock =
+  /// virtual) rather than wall time. Always true for the DES backend.
+  bool virtual_time = false;
 
   /// Scheduler behavior (metropolis run).
   double avg_parallelism = 0.0;  // DES: time-averaged outstanding requests
@@ -93,5 +105,16 @@ class ScenarioDriver {
 
   ScenarioSpec spec_;
 };
+
+/// Split `agents` over `segments` (floor share each, remainder spread over
+/// the first segments) — sums exactly to `agents`, counts differ by at
+/// most one. Requires agents >= segments >= 1.
+std::vector<std::int32_t> segment_agent_counts(std::int32_t agents,
+                                               std::int32_t segments);
+
+/// `n` distinct walkable start tiles spread over `map` on an evenly spaced
+/// grid, each snapped to the nearest free walkable tile. Check-fails when
+/// the map cannot seat `n` agents.
+std::vector<Tile> plan_gym_starts(const world::GridMap& map, std::int32_t n);
 
 }  // namespace aimetro::scenario

@@ -51,6 +51,22 @@ std::optional<MapKind> map_kind_from_name(const std::string& name) {
   return std::nullopt;
 }
 
+const char* clock_name(ClockKind c) {
+  switch (c) {
+    case ClockKind::kWall:
+      return "wall";
+    case ClockKind::kVirtual:
+      return "virtual";
+  }
+  return "?";
+}
+
+std::optional<ClockKind> clock_from_name(const std::string& name) {
+  if (name == "wall") return ClockKind::kWall;
+  if (name == "virtual") return ClockKind::kVirtual;
+  return std::nullopt;
+}
+
 namespace {
 
 // ---- Typed conversion layer (std::from_chars based) ----
@@ -102,6 +118,13 @@ bool conv(const std::string& v, MapKind* out) {
   return true;
 }
 
+bool conv(const std::string& v, ClockKind* out) {
+  const auto c = clock_from_name(v);
+  if (!c) return false;
+  *out = *c;
+  return true;
+}
+
 // ---- Rendering (for to_text round trips) ----
 
 std::string render(const std::string& v) { return v; }
@@ -110,6 +133,7 @@ std::string render(std::int64_t v) { return std::to_string(v); }
 std::string render(std::uint64_t v) { return std::to_string(v); }
 std::string render(Backend v) { return backend_name(v); }
 std::string render(MapKind v) { return map_kind_name(v); }
+std::string render(ClockKind v) { return clock_name(v); }
 std::string render(double v) {
   // Shortest representation that from_chars converts back exactly.
   char buf[64];
@@ -158,6 +182,8 @@ const std::vector<Field>& fields() {
       AIM_SPEC_FIELD("data_parallel", data_parallel),
       AIM_SPEC_FIELD("backend", backend),
       AIM_SPEC_FIELD("workers", workers),
+      AIM_SPEC_FIELD("clock", clock),
+      AIM_SPEC_FIELD("time_scale", time_scale),
       AIM_SPEC_FIELD("call_latency_us", call_latency_us),
   };
   return kFields;
@@ -250,9 +276,11 @@ SpecParseResult parse_spec_file(const std::string& path) {
 std::string validate_spec(const ScenarioSpec& spec) {
   if (spec.agents < 1) return "agents must be >= 1";
   if (spec.segments < 1) return "segments must be >= 1";
-  if (spec.agents % spec.segments != 0) {
-    return strformat("agents (%d) must be divisible by segments (%d)",
-                     spec.agents, spec.segments);
+  if (spec.agents < spec.segments) {
+    // A non-divisible count is fine — the remainder is spread over the
+    // first segments — but every segment needs at least one agent.
+    return strformat("agents (%d) must be >= segments (%d)", spec.agents,
+                     spec.segments);
   }
   if (spec.steps_per_day < 1) return "steps_per_day must be >= 1";
   const bool has_window = spec.window_begin >= 0 || spec.window_end >= 0;
@@ -272,6 +300,7 @@ std::string validate_spec(const ScenarioSpec& spec) {
     return "tensor_parallel and data_parallel must be >= 1";
   }
   if (spec.workers < 1) return "workers must be >= 1";
+  if (spec.time_scale <= 0.0) return "time_scale must be > 0";
   if (spec.call_latency_us < 0) return "call_latency_us must be >= 0";
 
   switch (spec.map) {
@@ -296,6 +325,11 @@ std::string validate_spec(const ScenarioSpec& spec) {
     case MapKind::kArena:
       if (spec.map_width < 4 || spec.map_height < 4) {
         return "arena maps must be at least 4x4";
+      }
+      if (static_cast<std::int64_t>(spec.map_width) * spec.map_height <
+          spec.agents) {
+        return strformat("arena %dx%d cannot hold %d agents on distinct tiles",
+                         spec.map_width, spec.map_height, spec.agents);
       }
       if (spec.backend != Backend::kEngine) {
         return "arena maps have no routine venues, so no trace can be "

@@ -33,6 +33,19 @@ enum class MapKind : std::uint8_t { kSmallville, kPlaza, kUrbanGrid, kArena };
 const char* map_kind_name(MapKind m);
 std::optional<MapKind> map_kind_from_name(const std::string& name);
 
+/// Time base of the engine backend.
+///  - kWall: real time; LLM calls sleep the fixed `call_latency_us` on a
+///    FakeLlmClient, reports are in wall seconds.
+///  - kVirtual: cost-model time; LLM calls are priced on llm::CostModel by
+///    a CostModelLlmClient and served on a runtime::SimClock at
+///    `time_scale`x compression, reports are in virtual seconds directly
+///    comparable to the DES backend.
+/// The DES backend is always virtual; `clock` is ignored there.
+enum class ClockKind : std::uint8_t { kWall, kVirtual };
+
+const char* clock_name(ClockKind c);
+std::optional<ClockKind> clock_from_name(const std::string& name);
+
 struct ScenarioSpec {
   std::string name = "unnamed";
   std::string description;
@@ -44,7 +57,9 @@ struct ScenarioSpec {
   std::int32_t homes = 15;       // smallville / plaza / urban_grid
   std::int32_t districts = 6;    // urban_grid office districts
   /// Horizontal segment concatenation — the paper's large-ville scaling
-  /// construction (§4.3). agents must be divisible by segments.
+  /// construction (§4.3). Requires agents >= segments; when agents is not
+  /// divisible by segments the remainder is spread over the first
+  /// segments, so every specified agent is simulated.
   std::int32_t segments = 1;
 
   // ---- Agent population & behavior ----
@@ -73,7 +88,13 @@ struct ScenarioSpec {
   // ---- Execution ----
   Backend backend = Backend::kDes;
   std::int32_t workers = 4;            // engine backend worker threads
-  std::int64_t call_latency_us = 200;  // engine backend fake-LLM latency
+  /// Engine-backend time base (see ClockKind). clock = virtual prices
+  /// calls on the spec's model/GPU/parallelism via the DES cost model.
+  ClockKind clock = ClockKind::kWall;
+  /// Virtual microseconds per wall microsecond when clock = virtual: 1000
+  /// compresses ~2.5 virtual hours of GPU time into ~9 wall seconds.
+  double time_scale = 1000.0;
+  std::int64_t call_latency_us = 200;  // clock = wall fake-LLM latency
 
   friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
 

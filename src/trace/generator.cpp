@@ -499,11 +499,27 @@ SimulationTrace generate_concatenated(const GridMap& segment,
                                       std::int32_t n_segments,
                                       const GeneratorConfig& base) {
   AIM_CHECK(n_segments >= 1);
-  if (n_segments == 1) return generate(segment, base);
-  std::vector<SimulationTrace> segments;
-  segments.reserve(static_cast<std::size_t>(n_segments));
-  for (std::int32_t k = 0; k < n_segments; ++k) {
+  return generate_concatenated(
+      segment,
+      std::vector<std::int32_t>(static_cast<std::size_t>(n_segments),
+                                base.n_agents),
+      base);
+}
+
+SimulationTrace generate_concatenated(
+    const GridMap& segment, const std::vector<std::int32_t>& agents_per_segment,
+    const GeneratorConfig& base) {
+  AIM_CHECK(!agents_per_segment.empty());
+  if (agents_per_segment.size() == 1) {
     GeneratorConfig cfg = base;
+    cfg.n_agents = agents_per_segment.front();
+    return generate(segment, cfg);
+  }
+  std::vector<SimulationTrace> segments;
+  segments.reserve(agents_per_segment.size());
+  for (std::size_t k = 0; k < agents_per_segment.size(); ++k) {
+    GeneratorConfig cfg = base;
+    cfg.n_agents = agents_per_segment[k];
     cfg.seed = base.seed + static_cast<std::uint64_t>(k) * 0x9e3779b9ULL;
     segments.push_back(generate(segment, cfg));
   }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "trace/behavior.h"
 #include "trace/schema.h"
@@ -55,6 +56,14 @@ SimulationTrace generate(const world::GridMap& map, const GeneratorConfig& cfg);
 SimulationTrace generate_concatenated(const world::GridMap& segment,
                                       std::int32_t n_segments,
                                       const GeneratorConfig& base);
+
+/// As above, but with an explicit per-segment population (all counts >= 1,
+/// base.n_agents ignored) — segment populations need not be equal, so a
+/// total that does not divide evenly loses no agents.
+SimulationTrace generate_concatenated(
+    const world::GridMap& segment,
+    const std::vector<std::int32_t>& agents_per_segment,
+    const GeneratorConfig& base);
 
 /// Convenience: generate_concatenated on the SmallVille segment map —
 /// the paper's scaling workload with n_segments*25 agents.

@@ -8,7 +8,9 @@
 #include "llm/client.h"
 #include "llm/cluster.h"
 #include "llm/cost_model.h"
+#include "llm/cost_model_client.h"
 #include "llm/specs.h"
+#include "runtime/sim_clock.h"
 
 namespace aimetro::llm {
 namespace {
@@ -312,6 +314,105 @@ TEST(FakeClient, DeterministicAndThreadSafe) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(client.calls(), 403u);  // 3 sequential + 4 threads x 100
+}
+
+// ---- CostModelLlmClient: cost-model latencies on a virtual clock ----
+
+TEST(CostModelClient, VirtualLatencyMatchesIterationTime) {
+  const CostModel cm(ModelSpec::llama3_8b(), GpuSpec::l4(), 1);
+  const runtime::SimClock clock(1e6);  // compress sleeps away
+  CostModelClientConfig cfg;
+  cfg.max_prefill_tokens_per_iter = 8192;
+  const CostModelLlmClient client(cm, &clock, cfg);
+
+  // Single prefill chunk + one decode iteration per output token at the
+  // given batch: exactly the DES cost model's pricing.
+  const SimTime expected_small =
+      cm.iteration_time(0, 1000, 0) + 10 * cm.iteration_time(3, 0, 2100);
+  EXPECT_EQ(client.virtual_latency(1000, 10, 3, 2100), expected_small);
+
+  // Long prompts prefill in max_prefill_tokens_per_iter chunks.
+  const SimTime expected_chunked = cm.iteration_time(0, 8192, 0) +
+                                   cm.iteration_time(0, 8192, 0) +
+                                   cm.iteration_time(0, 3616, 0) +
+                                   22 * cm.iteration_time(1, 0, 20022);
+  EXPECT_EQ(client.virtual_latency(20000, 22, 1, 20022), expected_chunked);
+
+  // No prefill: decode only.
+  EXPECT_EQ(client.virtual_latency(0, 5, 2, 500),
+            5 * cm.iteration_time(2, 0, 500));
+}
+
+TEST(CostModelClient, CompleteAccountsVirtualTimeAndStaysDeterministic) {
+  const CostModel cm(ModelSpec::llama3_8b(), GpuSpec::l4(), 1);
+  // Low enough compression that calls take real wall microseconds, so the
+  // concurrent section below genuinely overlaps in flight.
+  const runtime::SimClock clock(200.0);
+  CostModelClientConfig cfg;
+  cfg.data_parallel = 2;
+  cfg.seed = 7;
+  CostModelLlmClient client(cm, &clock, cfg);
+
+  CompletionRequest req;
+  req.prompt = "hello world";
+  req.prompt_tokens = 640;
+  req.max_tokens = 20;
+  const auto a = client.complete(req);
+  const auto b = client.complete(req);
+  // Response text is the same deterministic digest FakeLlmClient returns,
+  // so swapping clients never changes agent behaviour.
+  EXPECT_EQ(a.text, FakeLlmClient(7).complete(req).text);
+  EXPECT_EQ(a.text, b.text);
+  EXPECT_EQ(a.prompt_tokens, 640);
+  EXPECT_EQ(client.calls(), 2u);
+
+  // Sequential calls accumulate at least their unbatched service time on
+  // the virtual axis.
+  const SimTime solo = client.virtual_latency(640, 20, 1, 660);
+  EXPECT_GE(client.last_finish(), 2 * solo);
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&client] {
+      CompletionRequest r;
+      r.prompt = "concurrent";
+      r.prompt_tokens = 100;
+      r.max_tokens = 5;
+      for (int i = 0; i < 20; ++i) client.complete(r);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(client.calls(), 162u);  // 2 sequential + 8 threads x 20
+  // 8 concurrent callers over 2 replicas: batches beyond 1 must occur.
+  EXPECT_GT(client.peak_batch(), 1);
+  EXPECT_LE(client.peak_batch(), 4);
+}
+
+TEST(CostModelClient, CapacityQueueingSerializesOverflow) {
+  const CostModel cm(ModelSpec::llama3_8b(), GpuSpec::l4(), 1);
+  const runtime::SimClock clock(2000.0);
+  CostModelClientConfig cfg;
+  cfg.data_parallel = 1;
+  cfg.max_running_requests = 1;  // every concurrent call must queue
+  CostModelLlmClient client(cm, &clock, cfg);
+
+  const SimTime solo = client.virtual_latency(50, 4, 1, 54);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&client] {
+      CompletionRequest r;
+      r.prompt = "queued";
+      r.prompt_tokens = 50;
+      r.max_tokens = 4;
+      for (int i = 0; i < 5; ++i) client.complete(r);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(client.calls(), 20u);
+  EXPECT_EQ(client.peak_batch(), 1);  // the cap bounds the priced batch
+  // One slot serializes all 20 calls on the virtual axis — overflow
+  // arrivals each wait for their own slot, not just the earliest finish.
+  EXPECT_GE(client.last_finish(), 20 * solo);
 }
 
 }  // namespace

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <fstream>
 #include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/check.h"
 #include "llm/specs.h"
@@ -135,7 +138,10 @@ TEST(SpecValidate, RegistryEntriesAreValid) {
 TEST(SpecValidate, CatchesStructuralErrors) {
   ScenarioSpec spec;
   spec.agents = 10;
-  spec.segments = 3;  // not divisible
+  spec.segments = 3;  // not divisible: fine, the remainder is distributed
+  EXPECT_EQ(validate_spec(spec), "");
+  spec.agents = 2;
+  spec.segments = 3;  // a segment would be empty
   EXPECT_NE(validate_spec(spec), "");
 
   spec = ScenarioSpec{};
@@ -343,6 +349,144 @@ TEST(Driver, InvalidSpecThrowsWithTheValidationMessage) {
   ScenarioSpec spec;
   spec.model = "gpt-17";
   EXPECT_THROW(ScenarioDriver{spec}, CheckError);
+}
+
+// ---- Remainder-preserving segment splits ----
+
+TEST(SegmentSplit, DistributesTheRemainderAcrossSegments) {
+  EXPECT_EQ(segment_agent_counts(25, 4),
+            (std::vector<std::int32_t>{7, 6, 6, 6}));
+  EXPECT_EQ(segment_agent_counts(8, 8),
+            (std::vector<std::int32_t>{1, 1, 1, 1, 1, 1, 1, 1}));
+  EXPECT_EQ(segment_agent_counts(50, 2),
+            (std::vector<std::int32_t>{25, 25}));
+  std::int32_t total = 0;
+  for (auto c : segment_agent_counts(103, 7)) total += c;
+  EXPECT_EQ(total, 103);
+  EXPECT_THROW(segment_agent_counts(3, 4), CheckError);
+}
+
+TEST(SegmentSplit, TraceAndReportCarryEveryRequestedAgent) {
+  // 25 agents over 4 segments used to silently simulate 24 (25/4*4).
+  std::string error;
+  auto spec = find_scenario("smallville_day", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  spec->agents = 25;
+  spec->segments = 4;
+  spec->window_begin = 4320;
+  spec->window_end = 4340;
+  ASSERT_EQ(validate_spec(*spec), "");
+
+  const ScenarioDriver driver(*spec);
+  EXPECT_EQ(driver.build_trace().n_agents, 25);
+
+  const auto report = driver.run(/*serial_baseline=*/false);
+  EXPECT_EQ(report.agents, 25);
+  EXPECT_EQ(report.agent_steps, 25u * 20u);
+}
+
+// ---- Gym start placement ----
+
+TEST(GymStarts, UniqueWalkableAndComplete) {
+  // Overflowing grid anchors used to clamp several agents onto one tile.
+  const auto arena = world::GridMap::arena(10, 10);
+  const auto starts = plan_gym_starts(arena, 60);
+  ASSERT_EQ(starts.size(), 60u);
+  std::set<std::pair<std::int32_t, std::int32_t>> seen;
+  for (const Tile& t : starts) {
+    EXPECT_TRUE(arena.walkable(t)) << t.x << "," << t.y;
+    EXPECT_TRUE(seen.insert({t.x, t.y}).second)
+        << "duplicate start " << t.x << "," << t.y;
+  }
+}
+
+TEST(GymStarts, AvoidsUnwalkableTilesOnBuiltUpMaps) {
+  const auto ville = world::GridMap::smallville(25);
+  const auto starts = plan_gym_starts(ville, 40);
+  ASSERT_EQ(starts.size(), 40u);
+  std::set<std::pair<std::int32_t, std::int32_t>> seen;
+  for (const Tile& t : starts) {
+    EXPECT_TRUE(ville.walkable(t));
+    EXPECT_TRUE(seen.insert({t.x, t.y}).second);
+  }
+}
+
+TEST(GymStarts, FailsLoudlyWhenTheMapCannotSeatEveryone) {
+  const auto tiny = world::GridMap::arena(4, 4);
+  EXPECT_EQ(plan_gym_starts(tiny, 16).size(), 16u);  // exactly full
+  EXPECT_THROW(plan_gym_starts(tiny, 17), CheckError);
+  ScenarioSpec spec;
+  spec.map = MapKind::kArena;
+  spec.map_width = 4;
+  spec.map_height = 4;
+  spec.agents = 17;
+  spec.backend = Backend::kEngine;
+  EXPECT_NE(validate_spec(spec), "");
+}
+
+// ---- Baseline-skipped summaries ----
+
+TEST(Report, SummaryOmitsBaselineWhenSerialSkipped) {
+  std::string error;
+  auto spec = find_scenario("sparse_ville", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  spec->agents = 4;
+  spec->window_begin = 4320;
+  spec->window_end = 4360;
+
+  const auto with = ScenarioDriver(*spec).run(/*serial_baseline=*/true);
+  EXPECT_TRUE(with.has_serial);
+  EXPECT_NE(with.summary().find("baseline"), std::string::npos);
+  EXPECT_NE(with.summary().find("vs serial"), std::string::npos);
+
+  const auto without = ScenarioDriver(*spec).run(/*serial_baseline=*/false);
+  EXPECT_FALSE(without.has_serial);
+  EXPECT_EQ(without.summary().find("baseline"), std::string::npos);
+  EXPECT_EQ(without.summary().find("vs serial"), std::string::npos);
+  EXPECT_NE(without.summary().find("vs sync"), std::string::npos);
+}
+
+// ---- The virtual-time engine clock ----
+
+TEST(VirtualClock, EngineVirtualSecondsTrackTheDesBackend) {
+  // Same spec on both backends; clock = virtual must report completion
+  // times on the DES cost model's virtual axis. The documented tolerance
+  // is 25% (README); observed agreement is ~5%.
+  std::string error;
+  auto spec = find_scenario("smallville_day", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  spec->window_begin = 4320;
+  spec->window_end = 4380;
+
+  spec->backend = Backend::kDes;
+  const auto des = ScenarioDriver(*spec).run();
+  ASSERT_GT(des.serial_seconds, 0.0);
+
+  spec->backend = Backend::kEngine;
+  spec->clock = ClockKind::kVirtual;
+  spec->time_scale = 5000.0;  // ~0.4 s of wall time for this window
+  const auto engine = ScenarioDriver(*spec).run();
+  EXPECT_TRUE(engine.virtual_time);
+  EXPECT_EQ(engine.total_calls, des.total_calls);
+  EXPECT_NE(engine.summary().find("s (virtual)"), std::string::npos);
+  EXPECT_NEAR(engine.serial_seconds / des.serial_seconds, 1.0, 0.25);
+  EXPECT_NEAR(engine.metro_seconds / des.metro_seconds, 1.0, 0.25);
+  // The engine's correctness guarantee holds under the virtual clock.
+  EXPECT_EQ(engine.world_hash_serial, engine.world_hash_metro);
+}
+
+TEST(VirtualClock, WallClockStillDefaultAndWallLabelled) {
+  std::string error;
+  const auto spec = find_scenario("quickstart_arena", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  EXPECT_EQ(spec->clock, ClockKind::kWall);
+  auto small = *spec;
+  small.agents = 4;
+  small.steps_per_day = 20;
+  small.call_latency_us = 50;
+  const auto report = ScenarioDriver(small).run();
+  EXPECT_FALSE(report.virtual_time);
+  EXPECT_NE(report.summary().find("s (wall)"), std::string::npos);
 }
 
 }  // namespace

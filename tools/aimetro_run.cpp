@@ -30,11 +30,18 @@ int usage(int code) {
       "scenarios\n"
       "  aimetro_run --describe <name>               print a scenario's "
       "spec text\n"
-      "  aimetro_run <name|spec-file> [key=value...] run a scenario\n"
+      "  aimetro_run <name|spec-file> [--skip-serial] [key=value...]\n"
+      "                                              run a scenario\n"
+      "\n"
+      "--skip-serial omits the serial/lock-step baseline run (halves the\n"
+      "cost when only the metropolis numbers matter).\n"
       "\n"
       "overrides: any spec key, bare or flag-style — e.g. agents=50,\n"
       "--backend=engine, --seed=7, --window_begin=4320. Run --describe on\n"
-      "a scenario to see every key.\n");
+      "a scenario to see every key. With backend=engine, clock=virtual\n"
+      "prices LLM calls on the spec's model/GPU cost model and reports\n"
+      "virtual seconds comparable to the des backend (time_scale sets the\n"
+      "wall-time compression).\n");
   return code;
 }
 
@@ -99,7 +106,12 @@ int main(int argc, char** argv) {
   }
 
   // Apply command-line overrides.
+  bool serial_baseline = true;
   for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]) == "--skip-serial") {
+      serial_baseline = false;
+      continue;
+    }
     const std::string assignment = strip_dashes(argv[i]);
     if (!scenario::apply_override(&spec, assignment, &error)) {
       std::fprintf(stderr, "error: %s\n", error.c_str());
@@ -117,7 +129,7 @@ int main(int argc, char** argv) {
               scenario::backend_name(spec.backend));
   try {
     const scenario::ScenarioDriver driver(std::move(spec));
-    const scenario::ScenarioReport report = driver.run();
+    const scenario::ScenarioReport report = driver.run(serial_baseline);
     std::printf("%s", report.summary().c_str());
   } catch (const CheckError& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
