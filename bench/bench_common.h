@@ -31,14 +31,14 @@ inline constexpr Step kQuietEnd = 2520;    // 07:00
 scenario::ScenarioSpec registry_spec(
     const std::string& name, const std::vector<std::string>& overrides = {});
 
-/// The full-day trace of `spec` (its window cleared), built by
-/// ScenarioDriver::build_trace and cached — harnesses slice several
-/// windows out of one generation.
+/// The full-episode trace of `spec` (its window cleared; `days` day
+/// episodes for multi-day specs), built by ScenarioDriver::build_trace
+/// and cached — harnesses slice several windows out of one generation.
 const trace::SimulationTrace& registry_day_trace(
     const scenario::ScenarioSpec& spec);
 
-/// The spec's replay window of the cached full day (the whole day when the
-/// spec has no window).
+/// The spec's replay window of the cached full episode (the whole episode
+/// when the spec has no window).
 trace::SimulationTrace registry_window(const scenario::ScenarioSpec& spec);
 
 /// The DES platform cell `spec` describes (model/GPU resolved, TP x DP

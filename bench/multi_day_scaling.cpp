@@ -1,0 +1,124 @@
+// Multi-day scaling: out-of-order slack across day boundaries.
+//
+// Sweeps the episode length of the metropolis_week mixed-population
+// scenario (1, 2, 4, 7 days) on the DES backend and reports completion
+// times for every scheduling setting, plus a cross-day overlap column for
+// the metropolis and oracle schedulers: how many of day d+1's calls were
+// already submitted while day d's stragglers were still in flight.
+//
+// The conservative spatiotemporal rule provably cannot overlap a day
+// boundary: after the ~7-hour sleeping gap (2520 steps) the lead bound
+// radius_p + gap * max_vel exceeds any map diameter, so every pair
+// re-couples and the population crosses midnight as one loose wavefront
+// (metropolis overlap = 0 is expected, and is itself the paper's
+// bounded-lead property made visible). The trace-mined oracle knows who
+// actually never interacts and lets decoupled agents start tomorrow while
+// yesterday's stragglers are still draining — its overlap column measures
+// the cross-day slack a smarter-than-conservative scheduler could still
+// harvest. What the metropolis scheduler *does* keep across boundaries is
+// its barrier-free night: speedup vs lock-step holds as days grow.
+//
+//   build/bench/multi_day_scaling [max_days] [key=value overrides...]
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/strings.h"
+#include "replay/experiment.h"
+#include "scenario/driver.h"
+
+using namespace aimetro;
+
+namespace {
+
+struct OverlapStats {
+  std::uint64_t overlapped_calls = 0;  // submitted before the prior day drained
+  std::uint64_t later_day_calls = 0;   // calls belonging to day 2+
+};
+
+OverlapStats cross_day_overlap(const std::vector<replay::GanttRecord>& gantt,
+                               Step steps_per_day) {
+  // Last finish time per day, then count later-day calls submitted early.
+  std::vector<SimTime> day_finish;
+  for (const auto& rec : gantt) {
+    const auto d = static_cast<std::size_t>(rec.step / steps_per_day);
+    if (day_finish.size() <= d) day_finish.resize(d + 1, 0);
+    day_finish[d] = std::max(day_finish[d], rec.finish);
+  }
+  OverlapStats stats;
+  for (const auto& rec : gantt) {
+    const auto d = static_cast<std::size_t>(rec.step / steps_per_day);
+    if (d == 0) continue;
+    stats.later_day_calls += 1;
+    if (rec.submit < day_finish[d - 1]) stats.overlapped_calls += 1;
+  }
+  return stats;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::int32_t max_days = 7;
+  std::vector<std::string> overrides;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.find('=') == std::string::npos) {
+      max_days = std::atoi(arg.c_str());
+    } else {
+      overrides.push_back(arg);
+    }
+  }
+
+  bench::print_header(
+      "Multi-day scaling: mixed population, cross-day OOO slack");
+  const std::vector<int> widths = {5, 9, 11, 11, 11, 9, 11, 13, 13};
+  bench::print_row({"days", "calls", "serial(s)", "sync(s)", "metro(s)",
+                    "vs sync", "oracle(s)", "metro x-day", "oracle x-day"},
+                   widths);
+
+  for (std::int32_t days : {1, 2, 4, 7}) {
+    if (days > max_days) break;
+    std::vector<std::string> ov = overrides;
+    ov.push_back(strformat("days=%d", days));
+    const auto spec = bench::registry_spec("metropolis_week", ov);
+    const trace::SimulationTrace tr = scenario::ScenarioDriver(spec).build_trace();
+    replay::ExperimentConfig cfg = bench::registry_platform(spec);
+    cfg.record_gantt = true;
+
+    const auto serial = bench::run_mode(tr, cfg, replay::Mode::kSingleThread);
+    const auto sync = bench::run_mode(tr, cfg, replay::Mode::kParallelSync);
+    const auto metro = bench::run_mode(tr, cfg, replay::Mode::kMetropolis);
+    const auto oracle = bench::run_mode(tr, cfg, replay::Mode::kOracle);
+
+    auto overlap_cell = [&](const replay::ExperimentResult& result) {
+      if (days == 1) return std::string("-");
+      const OverlapStats overlap =
+          cross_day_overlap(result.gantt, spec.steps_per_day);
+      return strformat(
+          "%llu/%llu",
+          static_cast<unsigned long long>(overlap.overlapped_calls),
+          static_cast<unsigned long long>(overlap.later_day_calls));
+    };
+    bench::print_row(
+        {strformat("%d", days),
+         strformat("%llu",
+                   static_cast<unsigned long long>(metro.total_calls)),
+         strformat("%.0f", serial.completion_seconds),
+         strformat("%.0f", sync.completion_seconds),
+         strformat("%.0f", metro.completion_seconds),
+         strformat("%.2fx",
+                   sync.completion_seconds / metro.completion_seconds),
+         strformat("%.0f", oracle.completion_seconds),
+         overlap_cell(metro), overlap_cell(oracle)},
+        widths);
+  }
+  std::printf(
+      "\nx-day: calls of day d+1 submitted before day d fully drained.\n"
+      "Conservative metropolis scheduling is 0 by the bounded-lead rule\n"
+      "(the sleeping gap exceeds any map's distance/velocity bound); the\n"
+      "trace-mined oracle shows the cross-day slack that actually exists.\n");
+  return 0;
+}

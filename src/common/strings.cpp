@@ -37,6 +37,14 @@ std::vector<std::string> split(const std::string& s, char delim) {
   return out;
 }
 
+std::string trim(const std::string& s) {
+  const char* kWhitespace = " \t\r\n";
+  const std::size_t b = s.find_first_not_of(kWhitespace);
+  if (b == std::string::npos) return "";
+  const std::size_t e = s.find_last_not_of(kWhitespace);
+  return s.substr(b, e - b + 1);
+}
+
 std::string join(const std::vector<std::string>& parts, const std::string& sep) {
   std::string out;
   for (std::size_t i = 0; i < parts.size(); ++i) {

@@ -13,6 +13,9 @@ std::string strformat(const char* fmt, ...) __attribute__((format(printf, 1, 2))
 /// Split on a delimiter; keeps empty fields.
 std::vector<std::string> split(const std::string& s, char delim);
 
+/// Strip leading and trailing whitespace (spaces, tabs, CR, LF).
+std::string trim(const std::string& s);
+
 /// Join with a delimiter.
 std::string join(const std::vector<std::string>& parts, const std::string& sep);
 

@@ -4,6 +4,8 @@
 #include <chrono>
 #include <cmath>
 #include <memory>
+#include <mutex>
+#include <set>
 #include <shared_mutex>
 #include <unordered_set>
 #include <utility>
@@ -42,13 +44,46 @@ std::uint64_t digest_states(const std::vector<std::pair<Step, Pos>>& states) {
   return h;
 }
 
+/// Per-agent profile names for a heterogeneous spec, drawn
+/// deterministically from the population mix (empty for homogeneous
+/// specs). Depends only on (population, agents, seed) — never on the
+/// backend. Called once, from the ScenarioDriver constructor.
+std::vector<std::string> assigned_profile_names(const ScenarioSpec& spec) {
+  if (spec.population.empty()) return {};
+  std::string mix_error;
+  const auto mix = trace::PopulationMix::parse(spec.population, &mix_error);
+  AIM_CHECK_MSG(mix.has_value(), "population: " << mix_error);
+  return trace::assign_profiles(*mix, spec.agents, spec.seed);
+}
+
+/// Realized population as "profile:count,..." in mix order, for reports.
+/// `names` is the driver's one authoritative assignment.
+std::string population_summary(const ScenarioSpec& spec,
+                               const std::vector<std::string>& names) {
+  if (names.empty()) return "";
+  std::string mix_error;
+  const auto mix = trace::PopulationMix::parse(spec.population, &mix_error);
+  AIM_CHECK_MSG(mix.has_value(), "population: " << mix_error);
+  std::vector<std::string> parts;
+  for (const std::string& profile : mix->profiles) {
+    const auto count = std::count(names.begin(), names.end(), profile);
+    parts.push_back(strformat("%s:%lld", profile.c_str(),
+                              static_cast<long long>(count)));
+  }
+  return join(parts, ",");
+}
+
 /// Generator settings shared by every segment; the per-segment population
 /// is decided by segment_agent_counts (n_agents here is a placeholder the
-/// per-segment overload overrides).
-trace::GeneratorConfig generator_config(const ScenarioSpec& spec) {
+/// per-segment overload overrides; the heterogeneous assignment in
+/// `names` — the driver's one authoritative copy — is split across
+/// segments in agent-id order).
+trace::GeneratorConfig generator_config(
+    const ScenarioSpec& spec, const std::vector<std::string>& names) {
   trace::GeneratorConfig cfg;
   cfg.n_agents = spec.agents;
   cfg.steps_per_day = spec.steps_per_day;
+  cfg.days = spec.days;
   cfg.seed = spec.seed;
   cfg.radius_p = spec.radius_p;
   cfg.max_vel = spec.max_vel;
@@ -58,7 +93,53 @@ trace::GeneratorConfig generator_config(const ScenarioSpec& spec) {
   cfg.profile = *profile;
   cfg.profile.conversation_start_prob = std::min(
       1.0, cfg.profile.conversation_start_prob * spec.conversation_scale);
+  for (const std::string& name : names) {
+    auto assigned = trace::BehaviorProfile::find(name);
+    AIM_CHECK_MSG(assigned.has_value(), "unknown profile " << name);
+    assigned->conversation_start_prob = std::min(
+        1.0, assigned->conversation_start_prob * spec.conversation_scale);
+    cfg.agent_profiles.push_back(std::move(*assigned));
+  }
   return cfg;
+}
+
+/// Trace-side day rows (workload columns) for every day the window
+/// overlaps; finish_seconds is filled in by the backend afterwards.
+std::vector<ScenarioReport::DayRow> day_rows_from_trace(
+    const trace::SimulationTrace& tr, std::int32_t steps_per_day) {
+  AIM_CHECK(steps_per_day >= 1);
+  const std::int32_t first_day = tr.start_step / steps_per_day;
+  const std::int32_t last_day =
+      (tr.start_step + tr.n_steps - 1) / steps_per_day;
+  std::vector<ScenarioReport::DayRow> rows;
+  for (std::int32_t d = first_day; d <= last_day; ++d) {
+    ScenarioReport::DayRow row;
+    row.day = d;
+    rows.push_back(row);
+  }
+  auto row_of = [&](Step step) -> ScenarioReport::DayRow& {
+    return rows[static_cast<std::size_t>(step / steps_per_day - first_day)];
+  };
+  // Distinct conversations per day (ids are day-unique by construction,
+  // so a per-day id set counts whole conversations, not turns).
+  std::vector<std::set<std::int32_t>> day_conversations(rows.size());
+  for (const trace::AgentTrace& a : tr.agents) {
+    for (const trace::LlmCall& c : a.calls) {
+      ScenarioReport::DayRow& row = row_of(c.step);
+      row.calls += 1;
+      row.input_tokens += c.input_tokens;
+      row.output_tokens += c.output_tokens;
+      if (c.conversation_id >= 0) {
+        day_conversations[static_cast<std::size_t>(
+                              c.step / steps_per_day - first_day)]
+            .insert(c.conversation_id);
+      }
+    }
+  }
+  for (std::size_t d = 0; d < rows.size(); ++d) {
+    rows[d].conversations = day_conversations[d].size();
+  }
+  return rows;
 }
 
 world::GridMap segment_map(const ScenarioSpec& spec) {
@@ -153,6 +234,12 @@ std::string ScenarioReport::summary() const {
       scenario.c_str(), backend_name(backend), agents, steps,
       static_cast<unsigned long long>(total_calls),
       static_cast<unsigned long long>(agent_steps));
+  if (days > 1) {
+    out += strformat("days=%d  steps/day=%d\n", days, steps_per_day);
+  }
+  if (!population.empty()) {
+    out += strformat("population  %s\n", population.c_str());
+  }
   const char* unit = virtual_time ? "s (virtual)" : "s (wall)";
   // DES: one global cursor. Engine: 1 worker (trace maps) or lock-step
   // (arena maps) — the pre-metropolis baseline either way. Omitted
@@ -184,6 +271,21 @@ std::string ScenarioReport::summary() const {
       static_cast<unsigned long long>(clusters_dispatched));
   out += strformat("scoreboard-digest=%016llx\n",
                    static_cast<unsigned long long>(scoreboard_digest));
+  if (day_rows.size() > 1) {
+    out += strformat("per-day breakdown (metropolis, %s):\n",
+                     virtual_time ? "virtual" : "wall");
+    out += strformat("  %4s %10s %12s %11s %9s %14s\n", "day", "calls",
+                     "in-tok", "out-tok", "convs", "day-finish");
+    for (const DayRow& row : day_rows) {
+      out += strformat(
+          "  %4d %10llu %12lld %11lld %9llu %13.2fs\n", row.day + 1,
+          static_cast<unsigned long long>(row.calls),
+          static_cast<long long>(row.input_tokens),
+          static_cast<long long>(row.output_tokens),
+          static_cast<unsigned long long>(row.conversations),
+          row.finish_seconds);
+    }
+  }
   if (world_hash_serial != 0 && world_hash_metro != 0) {
     out += strformat(
         "world-hash  serial=%016llx  metropolis=%016llx  %s\n",
@@ -199,6 +301,7 @@ ScenarioDriver::ScenarioDriver(ScenarioSpec spec) : spec_(std::move(spec)) {
   const std::string error = validate_spec(spec_);
   AIM_CHECK_MSG(error.empty(), "invalid scenario '" << spec_.name
                                                     << "': " << error);
+  assigned_profiles_ = assigned_profile_names(spec_);
 }
 
 world::GridMap ScenarioDriver::build_map() const {
@@ -214,7 +317,7 @@ trace::SimulationTrace ScenarioDriver::build_trace() const {
   AIM_CHECK_MSG(spec_.map != MapKind::kArena,
                 "arena maps have no generated trace");
   const world::GridMap segment = segment_map(spec_);
-  const trace::GeneratorConfig cfg = generator_config(spec_);
+  const trace::GeneratorConfig cfg = generator_config(spec_, assigned_profiles_);
   trace::SimulationTrace full = trace::generate_concatenated(
       segment, segment_agent_counts(spec_.agents, spec_.segments), cfg);
   AIM_CHECK_MSG(full.n_agents == spec_.agents,
@@ -306,6 +409,7 @@ ScenarioReport ScenarioDriver::run(bool serial_baseline) const {
 ScenarioReport ScenarioDriver::run_des(bool serial_baseline) const {
   const trace::SimulationTrace tr = build_trace();
   replay::ExperimentConfig cfg = experiment_config();
+  const bool multi_day = spec_.days > 1;
 
   replay::ExperimentResult serial;
   if (serial_baseline) {
@@ -315,6 +419,8 @@ ScenarioReport ScenarioDriver::run_des(bool serial_baseline) const {
   cfg.mode = replay::Mode::kParallelSync;
   const auto sync = replay::run_experiment(tr, cfg);
   cfg.mode = replay::Mode::kMetropolis;
+  // Per-call finish times feed the per-day breakdown of multi-day runs.
+  cfg.record_gantt = multi_day;
   const auto metro = replay::run_experiment(tr, cfg);
 
   ScenarioReport r;
@@ -322,6 +428,18 @@ ScenarioReport ScenarioDriver::run_des(bool serial_baseline) const {
   r.backend = Backend::kDes;
   r.agents = tr.n_agents;
   r.steps = tr.n_steps;
+  r.days = spec_.days;
+  r.steps_per_day = spec_.steps_per_day;
+  r.population = population_summary(spec_, assigned_profiles_);
+  if (multi_day) {
+    r.day_rows = day_rows_from_trace(tr, spec_.steps_per_day);
+    for (const replay::GanttRecord& rec : metro.gantt) {
+      const std::size_t d = static_cast<std::size_t>(
+          rec.step / spec_.steps_per_day - r.day_rows.front().day);
+      r.day_rows[d].finish_seconds = std::max(
+          r.day_rows[d].finish_seconds, sim_time_to_seconds(rec.finish));
+    }
+  }
   r.total_calls = metro.total_calls;
   r.agent_steps = static_cast<std::uint64_t>(
       std::llround(metro.scoreboard.sum_cluster_sizes));
@@ -362,6 +480,9 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
     std::uint64_t world_hash = 0;
     core::ScoreboardStats scoreboard;
     double mean_blockers = 0.0;
+    /// Multi-day runs: elapsed (virtual or wall) seconds when the last
+    /// chain belonging to each episode day finished, indexed by day.
+    std::vector<double> day_finish;
   };
 
   // Replay the generated trace through the live threaded engine: movement
@@ -401,6 +522,22 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
       }
     };
 
+    // Multi-day runs: track when each episode day's last chain finished
+    // (workers race on this; the mutex is cold next to an LLM call).
+    const std::int32_t first_day = tr.start_step / spec_.steps_per_day;
+    const std::int32_t n_days =
+        (tr.start_step + tr.n_steps - 1) / spec_.steps_per_day - first_day + 1;
+    std::vector<double> day_finish(static_cast<std::size_t>(n_days), 0.0);
+    std::mutex day_finish_mutex;
+    auto note_chain_done = [&](Step abs_step) {
+      if (spec_.days <= 1) return;
+      const double elapsed = llm_stack.completion_seconds();
+      const auto d =
+          static_cast<std::size_t>(abs_step / spec_.steps_per_day - first_day);
+      std::lock_guard<std::mutex> lock(day_finish_mutex);
+      day_finish[d] = std::max(day_finish[d], elapsed);
+    };
+
     // Distinct members' chains are independent, so they run concurrently —
     // matching the DES replay, which submits every member's chain on
     // dispatch. The 1-worker baseline keeps them serial: it models the
@@ -426,6 +563,7 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
       } else {
         for (AgentId m : with_calls) issue_chain(m, abs_step);
       }
+      if (!with_calls.empty()) note_chain_done(abs_step);
 
       std::vector<world::StepIntent> intents;
       intents.reserve(cluster.members.size());
@@ -451,6 +589,7 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
     out.stats = engine.run();
     out.completion_seconds = llm_stack.completion_seconds();
     out.calls = llm_stack.calls();
+    out.day_finish = std::move(day_finish);
     AIM_CHECK(engine.scoreboard().all_done());
     std::vector<std::pair<Step, Pos>> states;
     for (AgentId a = 0; a < tr.n_agents; ++a) {
@@ -472,6 +611,16 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
   r.backend = Backend::kEngine;
   r.agents = tr.n_agents;
   r.steps = tr.n_steps;
+  r.days = spec_.days;
+  r.steps_per_day = spec_.steps_per_day;
+  r.population = population_summary(spec_, assigned_profiles_);
+  if (spec_.days > 1) {
+    r.day_rows = day_rows_from_trace(tr, spec_.steps_per_day);
+    for (std::size_t d = 0;
+         d < r.day_rows.size() && d < metro.day_finish.size(); ++d) {
+      r.day_rows[d].finish_seconds = metro.day_finish[d];
+    }
+  }
   r.total_calls = metro.calls;
   r.agent_steps = metro.stats.agent_steps;
   r.has_serial = serial_baseline;
@@ -535,6 +684,8 @@ ScenarioReport ScenarioDriver::run_engine_gym(bool serial_baseline) const {
   r.backend = Backend::kEngine;
   r.agents = n;
   r.steps = spec_.sim_steps();
+  r.days = spec_.days;
+  r.steps_per_day = spec_.steps_per_day;
   r.total_calls = llm_metro.calls();
   r.agent_steps = metro_stats.agent_steps;
   r.has_serial = serial_baseline;

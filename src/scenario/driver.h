@@ -40,6 +40,13 @@ struct ScenarioReport {
   std::uint64_t total_calls = 0;
   std::uint64_t agent_steps = 0;  // committed (agent, step) pairs
 
+  /// Episode shape (days > 1 for multi-day scenarios).
+  std::int32_t days = 1;
+  std::int32_t steps_per_day = 8640;
+  /// Realized population for heterogeneous scenarios, as
+  /// "profile:count,..." in mix order; empty for homogeneous runs.
+  std::string population;
+
   /// Completion times in seconds: virtual for the DES backend and for the
   /// engine backend under clock = virtual, wall-clock otherwise.
   /// `sync_seconds` is DES-only (lock-step with a global barrier); serial
@@ -71,6 +78,26 @@ struct ScenarioReport {
   /// equality is the paper's correctness guarantee.
   std::uint64_t world_hash_serial = 0;
   std::uint64_t world_hash_metro = 0;
+
+  /// One row per simulated day of a multi-day episode (the days the replay
+  /// window overlaps). Workload columns come from the trace; finish_seconds
+  /// is when the day's last LLM call completed in the metropolis run —
+  /// under out-of-order execution day d+1's calls start well before day
+  /// d's stragglers finish, which is exactly the cross-day slack the
+  /// scheduler exploits.
+  struct DayRow {
+    std::int32_t day = 0;  // 0-based episode day index
+    std::uint64_t calls = 0;
+    std::int64_t input_tokens = 0;
+    std::int64_t output_tokens = 0;
+    /// Distinct conversations whose turns fall in this day (conversation
+    /// ids never straddle a day boundary).
+    std::uint64_t conversations = 0;
+    double finish_seconds = 0.0;
+  };
+  /// Populated when the scenario spans more than one day (trace-bearing
+  /// maps on either backend; arena/gym runs have no trace to break down).
+  std::vector<DayRow> day_rows;
 
   std::string summary() const;
 };
@@ -104,6 +131,12 @@ class ScenarioDriver {
   ScenarioReport run_engine_gym(bool serial_baseline) const;
 
   ScenarioSpec spec_;
+  /// Per-agent profile names for heterogeneous specs, derived once at
+  /// construction (trace::assign_profiles over the population mix) —
+  /// the generator and the report both consume this one assignment, so
+  /// the workload and the printed population can never disagree. Empty
+  /// for homogeneous specs.
+  std::vector<std::string> assigned_profiles_;
 };
 
 /// Split `agents` over `segments` (floor share each, remainder spread over

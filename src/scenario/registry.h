@@ -4,7 +4,9 @@
 // a ScenarioSpec (see spec.h) chosen to stress the dependency scoreboard
 // in a different way — the paper's calibrated day, a hub-dominated social
 // plaza, OpenCity-style commuter flows, a near-zero-coupling lower bound,
-// and the parameterized large-ville scaling construction.
+// the parameterized large-ville scaling construction, a heterogeneous
+// population mix (mixed_ville<N>), and a multi-day mixed-population
+// episode (metropolis_week).
 #pragma once
 
 #include <optional>
@@ -24,9 +26,11 @@ struct RegistryEntry {
 /// instance), in presentation order for `aimetro_run --list`.
 std::vector<RegistryEntry> registry_entries();
 
-/// Look up a scenario by name. `scaling_ville<N>` is a parameterized
-/// family: any N in [1, 64] resolves (N segments, 25*N agents). Unknown
-/// names return nullopt and set *error to a message listing what exists.
+/// Look up a scenario by name. `scaling_ville<N>` (N in [1, 64]: N
+/// segments, 25*N agents) and `mixed_ville<N>` (N in [4, 400]: N agents
+/// drawn from the default population mix) are parameterized families.
+/// Unknown names return nullopt and set *error to a message listing what
+/// exists.
 std::optional<ScenarioSpec> find_scenario(const std::string& name,
                                           std::string* error);
 

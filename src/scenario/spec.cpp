@@ -1,9 +1,11 @@
 #include "scenario/spec.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdint>
 #include <fstream>
 #include <functional>
+#include <limits>
 #include <sstream>
 #include <vector>
 
@@ -168,9 +170,11 @@ const std::vector<Field>& fields() {
       AIM_SPEC_FIELD("segments", segments),
       AIM_SPEC_FIELD("agents", agents),
       AIM_SPEC_FIELD("profile", profile),
+      AIM_SPEC_FIELD("population", population),
       AIM_SPEC_FIELD("conversation_scale", conversation_scale),
       AIM_SPEC_FIELD("calls_scale", calls_scale),
       AIM_SPEC_FIELD("steps_per_day", steps_per_day),
+      AIM_SPEC_FIELD("days", days),
       AIM_SPEC_FIELD("window_begin", window_begin),
       AIM_SPEC_FIELD("window_end", window_end),
       AIM_SPEC_FIELD("seed", seed),
@@ -198,11 +202,33 @@ const Field* find_field(const std::string& key) {
   return nullptr;
 }
 
-std::string trim(const std::string& s) {
-  std::size_t b = s.find_first_not_of(" \t\r");
-  if (b == std::string::npos) return "";
-  std::size_t e = s.find_last_not_of(" \t\r");
-  return s.substr(b, e - b + 1);
+/// Classic Levenshtein distance, for "did you mean" suggestions.
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+  std::vector<std::size_t> prev(b.size() + 1), cur(b.size() + 1);
+  for (std::size_t j = 0; j <= b.size(); ++j) prev[j] = j;
+  for (std::size_t i = 1; i <= a.size(); ++i) {
+    cur[0] = i;
+    for (std::size_t j = 1; j <= b.size(); ++j) {
+      const std::size_t sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[b.size()];
+}
+
+/// The valid key closest to `key` by edit distance (ties: table order).
+const char* nearest_key(const std::string& key) {
+  const char* best = fields().front().key;
+  std::size_t best_d = std::numeric_limits<std::size_t>::max();
+  for (const Field& f : fields()) {
+    const std::size_t d = edit_distance(key, f.key);
+    if (d < best_d) {
+      best_d = d;
+      best = f.key;
+    }
+  }
+  return best;
 }
 
 }  // namespace
@@ -220,7 +246,13 @@ Step ScenarioSpec::sim_steps() const {
   if (window_begin >= 0 && window_end > window_begin) {
     return window_end - window_begin;
   }
-  return steps_per_day;
+  return episode_steps();
+}
+
+std::vector<std::string> spec_key_names() {
+  std::vector<std::string> out;
+  for (const Field& f : fields()) out.emplace_back(f.key);
+  return out;
 }
 
 bool apply_override(ScenarioSpec* spec, const std::string& assignment,
@@ -234,7 +266,8 @@ bool apply_override(ScenarioSpec* spec, const std::string& assignment,
   const std::string value = trim(assignment.substr(eq + 1));
   const Field* field = find_field(key);
   if (field == nullptr) {
-    *error = strformat("unknown key '%s'", key.c_str());
+    *error = strformat("unknown key '%s' (did you mean '%s'?)", key.c_str(),
+                       nearest_key(key));
     return false;
   }
   if (!field->set(*spec, value)) {
@@ -283,13 +316,15 @@ std::string validate_spec(const ScenarioSpec& spec) {
                      spec.segments);
   }
   if (spec.steps_per_day < 1) return "steps_per_day must be >= 1";
+  if (spec.days < 1 || spec.days > 64) return "days must be in [1, 64]";
   const bool has_window = spec.window_begin >= 0 || spec.window_end >= 0;
   if (has_window) {
     if (spec.window_begin < 0 || spec.window_end <= spec.window_begin ||
-        spec.window_end > spec.steps_per_day) {
+        spec.window_end > spec.episode_steps()) {
       return strformat(
-          "window [%d, %d) must satisfy 0 <= begin < end <= steps_per_day",
-          spec.window_begin, spec.window_end);
+          "window [%d, %d) must satisfy 0 <= begin < end <= days * "
+          "steps_per_day (%d)",
+          spec.window_begin, spec.window_end, spec.episode_steps());
     }
   }
   if (spec.radius_p <= 0.0) return "radius_p must be > 0";
@@ -336,6 +371,12 @@ std::string validate_spec(const ScenarioSpec& spec) {
                "generated for them: set backend = engine";
       }
       if (spec.segments != 1) return "arena maps cannot be segmented";
+      if (!spec.population.empty()) {
+        // Gym agents have no behavior profiles; accepting the key would
+        // silently run a different workload than the spec claims.
+        return "arena maps run live gym agents, which have no behavior "
+               "profiles: population cannot be set";
+      }
       break;
   }
 
@@ -343,6 +384,12 @@ std::string validate_spec(const ScenarioSpec& spec) {
     return strformat("unknown behavior profile '%s' (known: %s)",
                      spec.profile.c_str(),
                      join(trace::BehaviorProfile::names(), ", ").c_str());
+  }
+  if (!spec.population.empty()) {
+    std::string mix_error;
+    if (!trace::PopulationMix::parse(spec.population, &mix_error)) {
+      return strformat("population: %s", mix_error.c_str());
+    }
   }
   if (!llm::find_model(spec.model)) {
     return strformat("unknown model '%s' (known: %s)", spec.model.c_str(),

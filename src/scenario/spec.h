@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/types.h"
 
@@ -65,10 +66,22 @@ struct ScenarioSpec {
   // ---- Agent population & behavior ----
   std::int32_t agents = 25;
   std::string profile = "townsfolk";  // see trace::BehaviorProfile
+  /// Heterogeneous population mix, e.g.
+  /// "townsfolk:0.6,socialite:0.2,commuter:0.15,hermit:0.05" (see
+  /// trace::PopulationMix). Empty = every agent runs `profile`. When set,
+  /// per-agent profiles are drawn deterministically from the mix
+  /// (trace::assign_profiles keyed by `seed`) and `profile` is ignored.
+  std::string population;
   double conversation_scale = 1.0;    // multiplies conversation propensity
   double calls_scale = 1.0;           // multiplies the calls-per-day target
   std::int32_t steps_per_day = 8640;  // 10 simulated seconds per step
-  /// Replay window [begin, end) in absolute steps; -1/-1 = the full day.
+  /// Episode length in days: the trace chains `days` day episodes with
+  /// positional carry-over at each midnight boundary and fresh per-day
+  /// randomness. days = 1 is exactly the historical single-day workload.
+  std::int32_t days = 1;
+  /// Replay window [begin, end) in absolute steps over the whole episode
+  /// (day d covers [d*steps_per_day, (d+1)*steps_per_day)); -1/-1 = the
+  /// full episode.
   Step window_begin = -1;
   Step window_end = -1;
   std::uint64_t seed = 42;
@@ -101,8 +114,13 @@ struct ScenarioSpec {
   /// Serialize as `key = value` text; parse_spec_text round-trips it.
   std::string to_text() const;
 
-  /// Steps actually simulated: the window size, or the full day.
+  /// Steps actually simulated: the window size, or the full episode
+  /// (days * steps_per_day).
   Step sim_steps() const;
+  /// Full episode length in steps (ignoring any window).
+  Step episode_steps() const {
+    return static_cast<Step>(days) * steps_per_day;
+  }
   /// Window start in absolute steps (0 when running the full day).
   Step window_start() const { return window_begin >= 0 ? window_begin : 0; }
 };
@@ -124,9 +142,14 @@ SpecParseResult parse_spec_text(const std::string& text,
 SpecParseResult parse_spec_file(const std::string& path);
 
 /// Apply a single "key=value" override. Returns false and sets *error on
-/// unknown keys or unconvertible values.
+/// unknown keys or unconvertible values; unknown-key errors name the
+/// nearest valid key ("did you mean ...?") so typos fail loudly and
+/// helpfully rather than silently shaping a different workload.
 bool apply_override(ScenarioSpec* spec, const std::string& assignment,
                     std::string* error);
+
+/// Every valid spec key, in to_text() order (for docs, CLI help, tests).
+std::vector<std::string> spec_key_names();
 
 /// Semantic validation: ranges, divisibility, profile/model/GPU name
 /// resolution, backend/map compatibility. Empty string when valid.

@@ -1,5 +1,15 @@
 #include "trace/behavior.h"
 
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/strings.h"
+
 namespace aimetro::trace {
 
 BehaviorProfile BehaviorProfile::townsfolk() {
@@ -88,6 +98,126 @@ std::optional<BehaviorProfile> BehaviorProfile::find(const std::string& name) {
 
 std::vector<std::string> BehaviorProfile::names() {
   return {"townsfolk", "socialite", "commuter", "hermit"};
+}
+
+std::optional<PopulationMix> PopulationMix::parse(const std::string& text,
+                                                  std::string* error) {
+  PopulationMix mix;
+  std::set<std::string> seen;
+  for (const std::string& raw : split(text, ',')) {
+    const std::string entry = trim(raw);
+    if (entry.empty()) {
+      if (error != nullptr) {
+        *error = "empty population entry (trailing comma?)";
+      }
+      return std::nullopt;
+    }
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos) {
+      if (error != nullptr) {
+        *error = strformat("population entry '%s' is not name:weight",
+                           entry.c_str());
+      }
+      return std::nullopt;
+    }
+    const std::string name = trim(entry.substr(0, colon));
+    const std::string weight_text = trim(entry.substr(colon + 1));
+    if (!BehaviorProfile::find(name)) {
+      if (error != nullptr) {
+        *error = strformat("unknown behavior profile '%s' (known: %s)",
+                           name.c_str(),
+                           join(BehaviorProfile::names(), ", ").c_str());
+      }
+      return std::nullopt;
+    }
+    if (!seen.insert(name).second) {
+      if (error != nullptr) {
+        *error = strformat("duplicate population entry '%s'", name.c_str());
+      }
+      return std::nullopt;
+    }
+    double weight = 0.0;
+    const char* first = weight_text.data();
+    const char* last = weight_text.data() + weight_text.size();
+    const auto [ptr, ec] = std::from_chars(first, last, weight);
+    if (ec != std::errc{} || ptr != last || !(weight > 0.0) ||
+        !std::isfinite(weight)) {
+      if (error != nullptr) {
+        *error = strformat("population weight '%s' for '%s' must be a "
+                           "positive number",
+                           weight_text.c_str(), name.c_str());
+      }
+      return std::nullopt;
+    }
+    mix.profiles.push_back(name);
+    mix.weights.push_back(weight);
+  }
+  if (mix.profiles.empty()) {
+    if (error != nullptr) *error = "population mix is empty";
+    return std::nullopt;
+  }
+  return mix;
+}
+
+std::string PopulationMix::to_text() const {
+  std::vector<std::string> parts;
+  for (std::size_t i = 0; i < profiles.size(); ++i) {
+    char buf[64];
+    const auto [ptr, ec] =
+        std::to_chars(buf, buf + sizeof(buf), weights[i]);
+    parts.push_back(profiles[i] + ":" +
+                    (ec == std::errc{} ? std::string(buf, ptr)
+                                       : std::to_string(weights[i])));
+  }
+  return join(parts, ",");
+}
+
+std::vector<std::string> assign_profiles(const PopulationMix& mix,
+                                         std::int32_t n_agents,
+                                         std::uint64_t seed) {
+  AIM_CHECK(n_agents >= 1);
+  AIM_CHECK(!mix.profiles.empty() &&
+            mix.profiles.size() == mix.weights.size());
+  const double weight_sum =
+      std::accumulate(mix.weights.begin(), mix.weights.end(), 0.0);
+  AIM_CHECK_MSG(weight_sum > 0.0, "population weights must sum > 0");
+
+  // Largest-remainder quotas: floor shares first, then hand the leftover
+  // agents to the entries with the biggest fractional parts (ties broken
+  // by mix order, so the assignment is fully deterministic).
+  const std::size_t k = mix.profiles.size();
+  std::vector<std::int32_t> counts(k, 0);
+  std::vector<std::pair<double, std::size_t>> remainders;
+  std::int32_t assigned = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const double share =
+        static_cast<double>(n_agents) * mix.weights[i] / weight_sum;
+    counts[i] = static_cast<std::int32_t>(std::floor(share));
+    assigned += counts[i];
+    remainders.emplace_back(share - std::floor(share), i);
+  }
+  std::stable_sort(remainders.begin(), remainders.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first > b.first;
+                   });
+  const std::int32_t leftover = n_agents - assigned;  // < k by construction
+  for (std::int32_t j = 0; j < leftover; ++j) {
+    counts[remainders[static_cast<std::size_t>(j) % k].second] += 1;
+  }
+
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(n_agents));
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::int32_t c = 0; c < counts[i]; ++c) {
+      out.push_back(mix.profiles[i]);
+    }
+  }
+  // Interleave deterministically so agent id does not correlate with
+  // profile (ids also pick homes round-robin; a blocked assignment would
+  // cluster each profile in one corner of the map).
+  Rng rng(splitmix64(seed ^ 0x9090917AC0DE5EEDULL));
+  rng.shuffle(out);
+  return out;
 }
 
 }  // namespace aimetro::trace

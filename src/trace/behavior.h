@@ -12,6 +12,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -81,5 +82,41 @@ struct BehaviorProfile {
   static std::optional<BehaviorProfile> find(const std::string& name);
   static std::vector<std::string> names();
 };
+
+/// A weighted mix of behavior profiles — the population of a heterogeneous
+/// scenario. Parsed from the spec's `population` key:
+///
+///   townsfolk:0.6,socialite:0.2,commuter:0.15,hermit:0.05
+///
+/// Weights are relative (normalized internally, so 3:1 and 0.75:0.25 are
+/// the same mix). Entries must name known profiles and carry positive
+/// weights; duplicates are rejected.
+struct PopulationMix {
+  std::vector<std::string> profiles;  // BehaviorProfile names, mix order
+  std::vector<double> weights;        // same length, all > 0
+
+  /// Parse `name:weight,name:weight,...`. Whitespace around entries is
+  /// tolerated. Returns nullopt and sets *error (offending entry named)
+  /// on malformed text, unknown profile names, duplicate entries, or
+  /// non-positive weights.
+  static std::optional<PopulationMix> parse(const std::string& text,
+                                            std::string* error);
+
+  /// Canonical `name:weight,...` rendering; parse() round-trips it.
+  std::string to_text() const;
+};
+
+/// Deterministically assign a profile name to each of `n_agents` agents.
+///
+/// The realized mix is exact, not sampled: per-profile counts come from the
+/// largest-remainder method over the normalized weights (so 20 agents of
+/// 0.6/0.2/0.15/0.05 yield 12/4/3/1), and the counts are then interleaved
+/// over agent ids by a seed-keyed Fisher-Yates shuffle. The result depends
+/// only on (mix, n_agents, seed) — never on the execution backend — which
+/// is what makes population assignment reproducible across the DES replay
+/// and the live engine.
+std::vector<std::string> assign_profiles(const PopulationMix& mix,
+                                         std::int32_t n_agents,
+                                         std::uint64_t seed);
 
 }  // namespace aimetro::trace

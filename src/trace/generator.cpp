@@ -1,8 +1,10 @@
 #include "trace/generator.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <map>
+#include <numeric>
 #include <set>
 #include <string>
 #include <utility>
@@ -24,6 +26,9 @@ constexpr double kStepsPerHour = 360.0;  // 10 s per step
 struct AgentSim {
   AgentId id = -1;
   Tile tile;
+  /// This agent's behavior model (the shared profile in homogeneous runs,
+  /// its assigned one in heterogeneous runs). Never null after init.
+  const BehaviorProfile* profile = nullptr;
   // Daily schedule (step indices).
   Step wake = 0, leave_home = 0, lunch_start = 0, lunch_end = 0;
   Step social_start = 0, home_start = 0, sleep = 0;
@@ -68,34 +73,26 @@ std::int32_t sample_tokens(Rng& rng, double mean, double sigma_frac,
 std::uint64_t prompt_hash_for(AgentId agent, CallType type,
                               std::int32_t conversation_id) {
   if (conversation_id >= 0) {
-    return splitmix64(0xC0FFEEULL ^ static_cast<std::uint64_t>(conversation_id));
+    return conversation_prompt_hash(conversation_id);
   }
   return splitmix64((static_cast<std::uint64_t>(agent) << 8) ^
                     static_cast<std::uint64_t>(type));
 }
 
-}  // namespace
-
-SimulationTrace generate(const GridMap& map, const GeneratorConfig& cfg) {
-  AIM_CHECK(cfg.n_agents > 0);
-  AIM_CHECK(cfg.steps_per_day > 0);
-  Rng rng(cfg.seed);
-
-  const BehaviorProfile& profile = cfg.profile;
-
-  // Discover available homes / workplaces / social venues on the map. The
-  // profile names venues by arena-name prefix so the same profile works on
-  // any map family (smallville cafes, urban office districts, plaza hubs).
-  std::vector<std::string> homes;
-  for (const auto& arena : map.arenas()) {
-    if (arena.name.rfind("home_", 0) == 0) homes.push_back(arena.name);
-  }
-  AIM_CHECK_MSG(!homes.empty(), "map has no home_* arenas");
-
-  // Per-discovered-arena weights: each prefix's weight is split evenly
-  // among the arenas matching it.
+/// The venues a profile can use on a given map: workplaces weighted by the
+/// profile's prefix weights, social venues Zipf-weighted by discovery
+/// rank. Heterogeneous populations build one table per distinct profile.
+struct VenueTable {
   std::vector<std::string> workplaces;
   std::vector<double> workplace_w;
+  std::vector<std::string> socials;
+  std::vector<double> social_w;
+};
+
+VenueTable discover_venues(const GridMap& map, const BehaviorProfile& profile) {
+  VenueTable vt;
+  // Per-discovered-arena weights: each prefix's weight is split evenly
+  // among the arenas matching it.
   for (std::size_t p = 0; p < profile.workplace_prefixes.size(); ++p) {
     std::vector<const world::Arena*> matched;
     for (const auto& arena : map.arenas()) {
@@ -107,25 +104,78 @@ SimulationTrace generate(const GridMap& map, const GeneratorConfig& cfg) {
                          ? profile.workplace_weights[p]
                          : 1.0;
     for (const auto* arena : matched) {
-      workplaces.push_back(arena->name);
-      workplace_w.push_back(w / static_cast<double>(matched.size()));
+      vt.workplaces.push_back(arena->name);
+      vt.workplace_w.push_back(w / static_cast<double>(matched.size()));
     }
   }
-
   // Social venues: Zipf over discovery rank — a heavy alpha concentrates
   // the evening population on one hub venue (power-law contact graph).
-  std::vector<std::string> socials;
-  std::vector<double> social_w;
   for (const auto& prefix : profile.social_prefixes) {
     for (const auto& arena : map.arenas()) {
       if (arena.name.rfind(prefix, 0) == 0) {
-        socials.push_back(arena.name);
-        social_w.push_back(
-            1.0 / std::pow(static_cast<double>(socials.size()),
+        vt.socials.push_back(arena.name);
+        vt.social_w.push_back(
+            1.0 / std::pow(static_cast<double>(vt.socials.size()),
                            profile.social_zipf_alpha));
       }
     }
   }
+  return vt;
+}
+
+/// Schedule-stream key for heterogeneous runs: (seed, agent, day) fully
+/// determines an agent's routine draws, independent of every other agent.
+std::uint64_t agent_day_seed(std::uint64_t seed, AgentId agent,
+                             std::int32_t day_index) {
+  return splitmix64(seed ^
+                    splitmix64(0xA9E47ULL +
+                               static_cast<std::uint64_t>(agent) *
+                                   0x9e3779b97f4a7c15ULL +
+                               (static_cast<std::uint64_t>(day_index) << 40)));
+}
+
+}  // namespace
+
+SimulationTrace generate(const GridMap& map, const GeneratorConfig& cfg) {
+  AIM_CHECK(cfg.n_agents > 0);
+  AIM_CHECK(cfg.steps_per_day > 0);
+  AIM_CHECK(cfg.day_index >= 0);
+  const bool hetero = !cfg.agent_profiles.empty();
+  AIM_CHECK_MSG(!hetero || cfg.agent_profiles.size() ==
+                               static_cast<std::size_t>(cfg.n_agents),
+                "agent_profiles must be empty or one per agent");
+  AIM_CHECK_MSG(cfg.start_tiles.empty() ||
+                    cfg.start_tiles.size() ==
+                        static_cast<std::size_t>(cfg.n_agents),
+                "start_tiles must be empty or one per agent");
+  // Day 0 seeds exactly as the historical single-day generator; later days
+  // of an episode derive an independent stream so each day rolls fresh
+  // randomness (schedules, conversations, fill).
+  Rng rng(cfg.day_index == 0
+              ? cfg.seed
+              : splitmix64(cfg.seed + 0x9e3779b97f4a7c15ULL *
+                                          static_cast<std::uint64_t>(
+                                              cfg.day_index)));
+
+  const BehaviorProfile& profile = cfg.profile;
+
+  // Discover available homes on the map. Workplaces and social venues are
+  // profile-dependent (arena-name prefixes, so the same profile works on
+  // any map family): one venue table per distinct profile in the run.
+  std::vector<std::string> homes;
+  for (const auto& arena : map.arenas()) {
+    if (arena.name.rfind("home_", 0) == 0) homes.push_back(arena.name);
+  }
+  AIM_CHECK_MSG(!homes.empty(), "map has no home_* arenas");
+
+  std::map<std::string, VenueTable> venue_tables;
+  auto venues_for = [&](const BehaviorProfile& p) -> const VenueTable& {
+    auto it = venue_tables.find(p.name);
+    if (it == venue_tables.end()) {
+      it = venue_tables.emplace(p.name, discover_venues(map, p)).first;
+    }
+    return it->second;
+  };
 
   const Step day = cfg.steps_per_day;
   std::vector<AgentSim> sims(static_cast<std::size_t>(cfg.n_agents));
@@ -135,50 +185,67 @@ SimulationTrace generate(const GridMap& map, const GeneratorConfig& cfg) {
   for (std::int32_t i = 0; i < cfg.n_agents; ++i) {
     AgentSim& a = sims[static_cast<std::size_t>(i)];
     a.id = i;
+    const BehaviorProfile& prof =
+        hetero ? cfg.agent_profiles[static_cast<std::size_t>(i)] : profile;
+    a.profile = &prof;
+    const VenueTable& venues = venues_for(prof);
+    // Heterogeneous runs draw each agent's routine from a per-agent stream
+    // keyed by (seed, agent, day): the draws are independent of the rest
+    // of the population, so changing one agent's profile never perturbs a
+    // neighbor's schedule. Homogeneous runs keep the historical shared
+    // stream so existing seeds reproduce byte-identical traces.
+    Rng agent_stream(agent_day_seed(cfg.seed, i, cfg.day_index));
+    Rng& arng = hetero ? agent_stream : rng;
     a.home = homes[static_cast<std::size_t>(i) % homes.size()];
     // Profiles with no (matching) workplace or social venue keep the agent
     // home for that part of the day — the hermit routine.
-    a.work = workplaces.empty()
+    a.work = venues.workplaces.empty()
                  ? a.home
-                 : workplaces[rng.weighted_index(workplace_w)];
-    a.social =
-        socials.empty() ? a.home : socials[rng.weighted_index(social_w)];
+                 : venues.workplaces[arng.weighted_index(venues.workplace_w)];
+    a.social = venues.socials.empty()
+                   ? a.home
+                   : venues.socials[arng.weighted_index(venues.social_w)];
     // Daily routines are clock-driven: agents wake on quarter-hour marks,
     // so their wake-up planning bursts align across agents (this is what
     // keeps lock-step sync comparatively cheap in the early-morning quiet
     // hour, §4.3).
     a.wake = clamp_step(
-        hour_to_step(rng.normal(profile.wake_hour_mean, profile.wake_hour_sigma)),
-        hour_to_step(std::max(0.0, profile.wake_hour_mean - 1.5)),
-        hour_to_step(profile.wake_hour_mean + 1.5));
+        hour_to_step(arng.normal(prof.wake_hour_mean, prof.wake_hour_sigma)),
+        hour_to_step(std::max(0.0, prof.wake_hour_mean - 1.5)),
+        hour_to_step(prof.wake_hour_mean + 1.5));
     a.wake = (a.wake / 90) * 90;
-    a.leave_home = a.wake + static_cast<Step>(rng.uniform_int(120, 300));
+    a.leave_home = a.wake + static_cast<Step>(arng.uniform_int(120, 300));
     a.lunch_start = clamp_step(
         hour_to_step(
-            rng.normal(profile.lunch_hour_mean, profile.lunch_hour_sigma)),
+            arng.normal(prof.lunch_hour_mean, prof.lunch_hour_sigma)),
         std::max<Step>(a.leave_home,
-                       hour_to_step(profile.lunch_hour_mean - 0.5)),
-        hour_to_step(profile.lunch_hour_mean + 0.7));
-    a.lunch_end = a.lunch_start + static_cast<Step>(rng.uniform_int(200, 380));
+                       hour_to_step(prof.lunch_hour_mean - 0.5)),
+        hour_to_step(prof.lunch_hour_mean + 0.7));
+    a.lunch_end = a.lunch_start + static_cast<Step>(arng.uniform_int(200, 380));
     a.social_start = clamp_step(
         hour_to_step(
-            rng.normal(profile.social_hour_mean, profile.social_hour_sigma)),
+            arng.normal(prof.social_hour_mean, prof.social_hour_sigma)),
         std::max<Step>(a.lunch_end,
-                       hour_to_step(profile.social_hour_mean - 1.5)),
-        hour_to_step(profile.social_hour_mean + 2.0));
-    a.home_start = clamp_step(hour_to_step(rng.normal(profile.home_hour_mean, 0.8)),
+                       hour_to_step(prof.social_hour_mean - 1.5)),
+        hour_to_step(prof.social_hour_mean + 2.0));
+    a.home_start = clamp_step(hour_to_step(arng.normal(prof.home_hour_mean, 0.8)),
                               a.social_start + 60,
-                              hour_to_step(profile.home_hour_mean + 2.0));
-    a.sleep = clamp_step(hour_to_step(rng.normal(profile.sleep_hour_mean, 0.8)),
+                              hour_to_step(prof.home_hour_mean + 2.0));
+    a.sleep = clamp_step(hour_to_step(arng.normal(prof.sleep_hour_mean, 0.8)),
                          a.home_start + 60, day);
     // Start in bed at home.
     const world::Arena* home = map.arena(a.home);
     AIM_CHECK(home != nullptr);
     Tile bed = home->rect.center();
     // Crowded maps may share homes: jitter within the plot.
-    bed.x = std::clamp(bed.x + static_cast<std::int32_t>(rng.uniform_int(-2, 2)),
+    bed.x = std::clamp(bed.x + static_cast<std::int32_t>(arng.uniform_int(-2, 2)),
                        home->rect.x0, home->rect.x1);
     a.tile = world::nearest_walkable(map, bed);
+    if (!cfg.start_tiles.empty()) {
+      // Cross-day carry-over: this day starts exactly where the previous
+      // one ended (typically in bed anyway — the routine ends at home).
+      a.tile = cfg.start_tiles[static_cast<std::size_t>(i)];
+    }
     positions[static_cast<std::size_t>(i)].reserve(
         static_cast<std::size_t>(day) + 1);
     positions[static_cast<std::size_t>(i)].push_back(a.tile);
@@ -301,26 +368,39 @@ SimulationTrace generate(const GridMap& map, const GeneratorConfig& cfg) {
         if (s < b.wake || s >= b.sleep || b.conversing_until >= s) continue;
         if (euclidean(a.tile.center(), b.tile.center()) > cfg.radius_p) continue;
         const auto pair_key = std::make_pair(a.id, b.id);
+        const BehaviorProfile& pa = *a.profile;
+        const BehaviorProfile& pb = *b.profile;
         auto lit = last_conversation.find(pair_key);
         if (lit != last_conversation.end() &&
-            s - lit->second < profile.conversation_cooldown_steps) {
+            s - lit->second < std::max(pa.conversation_cooldown_steps,
+                                       pb.conversation_cooldown_steps)) {
           continue;
         }
-        // Socializing follows the diurnal intensity: frequent, long
-        // conversations at the midday peak, rare brief exchanges in the
-        // early morning (§4.3: "busy hours feature long conversations").
+        // Socializing follows the initiator's diurnal intensity: frequent,
+        // long conversations at the midday peak, rare brief exchanges in
+        // the early morning (§4.3: "busy hours feature long
+        // conversations").
         double peak_weight = 0.0;
-        for (double w : profile.hourly_weights) {
+        for (double w : pa.hourly_weights) {
           peak_weight = std::max(peak_weight, w);
         }
-        const double conv_intensity = profile.hourly_weights[hour] / peak_weight;
-        if (!rng.bernoulli(profile.conversation_start_prob *
-                           std::max(0.1, conv_intensity))) {
+        const double conv_intensity = pa.hourly_weights[hour] / peak_weight;
+        // A conversation needs both sides willing: across profiles the
+        // pair propensity is the geometric mean, so a hermit (propensity
+        // 0) never converses no matter how pushy the other side is. The
+        // homogeneous path keeps the plain per-profile propensity
+        // (bit-exact with historical traces; sqrt(p*p) can differ by an
+        // ulp).
+        const double start_prob =
+            hetero ? std::sqrt(pa.conversation_start_prob *
+                               pb.conversation_start_prob)
+                   : pa.conversation_start_prob;
+        if (!rng.bernoulli(start_prob * std::max(0.1, conv_intensity))) {
           continue;
         }
         const int n_turns =
-            3 + static_cast<int>(rng.poisson(1.4 * profile.hourly_weights[hour] *
-                                             profile.conversation_length_scale));
+            3 + static_cast<int>(rng.poisson(1.4 * pa.hourly_weights[hour] *
+                                             pa.conversation_length_scale));
         const std::int32_t conv_id = next_conversation_id++;
         Step turn_step = s + 1;
         for (int t = 0; t < n_turns && turn_step < day; ++t) {
@@ -339,11 +419,39 @@ SimulationTrace generate(const GridMap& map, const GeneratorConfig& cfg) {
   }
 
   // ---- Pass B: routine fill to hit the diurnal call-count profile ----
-  double weight_sum = 0.0;
-  for (double w : cfg.profile.hourly_weights) weight_sum += w;
-  AIM_CHECK(weight_sum > 0.0);
   const double total_target = cfg.target_calls_per_25_agents *
                               (static_cast<double>(cfg.n_agents) / 25.0);
+
+  // Per-hour call targets. Homogeneous: the profile's normalized curve
+  // (the historical expression, kept verbatim for bit-exact seeds).
+  // Heterogeneous: each agent's equal share of the day's calls spread over
+  // its own diurnal curve, summed — so a population of commuters and
+  // socialites shows both the rush-hour spikes and the evening plateau.
+  std::array<double, 24> target_by_hour{};
+  std::vector<double> agent_curve_sum(sims.size(), 0.0);
+  if (!hetero) {
+    double weight_sum = 0.0;
+    for (double w : cfg.profile.hourly_weights) weight_sum += w;
+    AIM_CHECK(weight_sum > 0.0);
+    for (std::size_t h = 0; h < 24; ++h) {
+      target_by_hour[h] =
+          total_target * cfg.profile.hourly_weights[h] / weight_sum;
+    }
+  } else {
+    const double per_agent =
+        total_target / static_cast<double>(cfg.n_agents);
+    for (std::size_t i = 0; i < sims.size(); ++i) {
+      const BehaviorProfile& prof = *sims[i].profile;
+      double wsum = 0.0;
+      for (double w : prof.hourly_weights) wsum += w;
+      AIM_CHECK_MSG(wsum > 0.0, "profile '" << prof.name
+                                            << "' has an all-zero curve");
+      agent_curve_sum[i] = wsum;
+      for (std::size_t h = 0; h < 24; ++h) {
+        target_by_hour[h] += per_agent * prof.hourly_weights[h] / wsum;
+      }
+    }
+  }
 
   // Existing (pass A) calls and input tokens per hour.
   std::array<double, 24> existing{};
@@ -362,8 +470,7 @@ SimulationTrace generate(const GridMap& map, const GeneratorConfig& cfg) {
   // calibration target.
   double routine_quota = 0.0;
   for (std::size_t h = 0; h < 24; ++h) {
-    routine_quota += std::max(
-        0.0, total_target * cfg.profile.hourly_weights[h] / weight_sum - existing[h]);
+    routine_quota += std::max(0.0, target_by_hour[h] - existing[h]);
   }
   const double routine_input_mean =
       routine_quota > 0.0
@@ -396,35 +503,46 @@ SimulationTrace generate(const GridMap& map, const GeneratorConfig& cfg) {
   // most agents stay quiet. Skewed per-(agent, hour) activity weights plus
   // heavy-tailed task chain lengths reproduce that sparsity, which is what
   // limits lock-step parallelism in the first place.
-  double max_weight = 0.0;
-  for (double w : cfg.profile.hourly_weights) max_weight = std::max(max_weight, w);
-
   for (std::size_t h = 0; h < 24; ++h) {
-    double deficit =
-        total_target * cfg.profile.hourly_weights[h] / weight_sum - existing[h];
+    double deficit = target_by_hour[h] - existing[h];
     const auto& candidates = awake_by_hour[h];
     if (candidates.empty()) continue;
     // Mild per-agent skew: the *step-level* dominance (long bursts below)
     // rotates across agents, matching Figure 1 — heavy steps, but hourly
     // totals spread enough that out-of-order execution can overlap them.
+    // Heterogeneous runs additionally weight each candidate by its own
+    // curve's share of the hour, so a commuter soaks up rush-hour fill and
+    // a socialite the evening's.
     std::vector<double> weights(candidates.size());
-    for (double& w : weights) w = std::exp(rng.normal(0.0, 0.6));
-    // Busy hours feature heavy multi-call tasks (long conversations, deep
-    // planning); quiet hours are mostly uniform one-or-two-call routines —
-    // the §4.3 contrast that makes lock-step sync cheap at 6am and
-    // expensive at noon.
-    const double intensity = cfg.profile.hourly_weights[h] / max_weight;
-    const double p_task = 0.25 * intensity;
-    const double task_len_lambda = 1.0 + 7.0 * intensity;
-    // In light hours agents run the same clock-driven routines (waking,
-    // checking schedules), so their small calls align on common steps —
-    // which is why the paper sees parallel-sync do comparatively well in
-    // the quiet hour (§4.3). Busy hours are event-driven and unaligned.
-    const double p_pulse = 0.9 * (1.0 - intensity);
+    for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+      weights[ci] = std::exp(rng.normal(0.0, 0.6));
+      if (hetero) {
+        const auto idx = static_cast<std::size_t>(candidates[ci]);
+        weights[ci] *= std::max(
+            1e-6, sims[idx].profile->hourly_weights[h] / agent_curve_sum[idx]);
+      }
+    }
     const Step h0 = static_cast<Step>(h * kStepsPerHour);
     while (deficit >= 1.0) {
       AgentSim& a =
           sims[static_cast<std::size_t>(candidates[rng.weighted_index(weights)])];
+      // Busy hours feature heavy multi-call tasks (long conversations,
+      // deep planning); quiet hours are mostly uniform one-or-two-call
+      // routines — the §4.3 contrast that makes lock-step sync cheap at
+      // 6am and expensive at noon. "Busy" is judged on the selected
+      // agent's own curve (identical for every agent when homogeneous).
+      double max_weight = 0.0;
+      for (double w : a.profile->hourly_weights) {
+        max_weight = std::max(max_weight, w);
+      }
+      const double intensity = a.profile->hourly_weights[h] / max_weight;
+      const double p_task = 0.25 * intensity;
+      const double task_len_lambda = 1.0 + 7.0 * intensity;
+      // In light hours agents run the same clock-driven routines (waking,
+      // checking schedules), so their small calls align on common steps —
+      // which is why the paper sees parallel-sync do comparatively well in
+      // the quiet hour (§4.3). Busy hours are event-driven and unaligned.
+      const double p_pulse = 0.9 * (1.0 - intensity);
       const Step lo = std::max(h0, a.wake);
       const Step hi = std::min<Step>(h0 + static_cast<Step>(kStepsPerHour) - 1,
                                      a.sleep - 1);
@@ -495,6 +613,30 @@ SimulationTrace generate(const GridMap& map, const GeneratorConfig& cfg) {
   return out;
 }
 
+SimulationTrace generate_episode(const world::GridMap& map,
+                                 const GeneratorConfig& cfg) {
+  AIM_CHECK(cfg.days >= 1);
+  if (cfg.days == 1) {
+    // Byte-identical to the historical single-day generator.
+    return generate(map, cfg);
+  }
+  std::vector<SimulationTrace> day_traces;
+  day_traces.reserve(static_cast<std::size_t>(cfg.days));
+  GeneratorConfig day_cfg = cfg;
+  for (std::int32_t d = 0; d < cfg.days; ++d) {
+    day_cfg.day_index = d;
+    if (d > 0) {
+      // Cross-day carry-over: day d starts exactly where day d-1 ended.
+      day_cfg.start_tiles.clear();
+      for (const AgentTrace& a : day_traces.back().agents) {
+        day_cfg.start_tiles.push_back(a.positions.back());
+      }
+    }
+    day_traces.push_back(generate(map, day_cfg));
+  }
+  return concatenate_days(day_traces);
+}
+
 SimulationTrace generate_concatenated(const GridMap& segment,
                                       std::int32_t n_segments,
                                       const GeneratorConfig& base) {
@@ -510,18 +652,32 @@ SimulationTrace generate_concatenated(
     const GridMap& segment, const std::vector<std::int32_t>& agents_per_segment,
     const GeneratorConfig& base) {
   AIM_CHECK(!agents_per_segment.empty());
+  const std::int32_t total = std::accumulate(agents_per_segment.begin(),
+                                             agents_per_segment.end(), 0);
+  AIM_CHECK_MSG(base.agent_profiles.empty() ||
+                    base.agent_profiles.size() ==
+                        static_cast<std::size_t>(total),
+                "agent_profiles must cover the combined segment population");
   if (agents_per_segment.size() == 1) {
     GeneratorConfig cfg = base;
     cfg.n_agents = agents_per_segment.front();
-    return generate(segment, cfg);
+    return generate_episode(segment, cfg);
   }
   std::vector<SimulationTrace> segments;
   segments.reserve(agents_per_segment.size());
+  std::int32_t agent_offset = 0;
   for (std::size_t k = 0; k < agents_per_segment.size(); ++k) {
     GeneratorConfig cfg = base;
     cfg.n_agents = agents_per_segment[k];
     cfg.seed = base.seed + static_cast<std::uint64_t>(k) * 0x9e3779b9ULL;
-    segments.push_back(generate(segment, cfg));
+    if (!base.agent_profiles.empty()) {
+      // Split the heterogeneous assignment across segments in id order.
+      const auto begin =
+          base.agent_profiles.begin() + agent_offset;
+      cfg.agent_profiles.assign(begin, begin + agents_per_segment[k]);
+    }
+    agent_offset += agents_per_segment[k];
+    segments.push_back(generate_episode(segment, cfg));
   }
   return concatenate_segments(segments, segment.width() + 1);
 }

@@ -31,8 +31,8 @@ struct GeneratorConfig {
   double radius_p = 4.0;  // GenAgent perception radius (grid units)
   double max_vel = 1.0;   // one tile per step
 
-  /// Total LLM calls targeted for the whole day; the paper reports 56.7k
-  /// for 25 agents. Scaled linearly when n_agents != 25.
+  /// Total LLM calls targeted PER DAY; the paper reports 56.7k for 25
+  /// agents. Scaled linearly when n_agents != 25.
   double target_calls_per_25_agents = 56700.0;
 
   /// Token-length targets (trace-wide means).
@@ -41,25 +41,56 @@ struct GeneratorConfig {
 
   /// The behavior model: routine mix, conversation propensity, diurnal
   /// curve. Defaults to the calibrated GenAgent townsfolk day; see
-  /// trace/behavior.h for the other built-in profiles.
+  /// trace/behavior.h for the other built-in profiles. Every agent uses
+  /// this profile unless `agent_profiles` is set.
   BehaviorProfile profile;
+
+  /// Heterogeneous population: one profile per agent (size must equal
+  /// n_agents; see trace::assign_profiles for drawing one from a
+  /// PopulationMix). Empty = the homogeneous `profile` above, which keeps
+  /// the generator byte-identical to the historical single-profile path.
+  std::vector<BehaviorProfile> agent_profiles;
+
+  /// Days in the episode (generate_episode): each day draws independent
+  /// randomness (schedules, conversations, fill) keyed by (seed, agent,
+  /// day), and day k+1 starts where day k ended. days = 1 is exactly the
+  /// historical single-day trace.
+  std::int32_t days = 1;
+
+  /// Which day of a multi-day episode this single-day generation is; salts
+  /// the RNG streams so day 2 differs from day 1. Set by generate_episode.
+  std::int32_t day_index = 0;
+
+  /// Cross-day carry-over: start tiles for every agent (size n_agents),
+  /// normally the previous day's final positions. Empty = agents start in
+  /// bed at home. Set by generate_episode for days after the first.
+  std::vector<Tile> start_tiles;
 };
 
-/// Generates a full-day trace on `map` (one segment; use
-/// concatenate_segments + GridMap::concatenate for the large ville).
+/// Generates a ONE-day trace on `map` (one segment; use
+/// concatenate_segments + GridMap::concatenate for the large ville, and
+/// generate_episode for multi-day runs). Ignores cfg.days.
 SimulationTrace generate(const world::GridMap& map, const GeneratorConfig& cfg);
 
-/// Generate `n_segments` independent day traces of `segment` (derived
+/// Generates a cfg.days-day episode on `map`: day traces chained on the
+/// time axis with positional carry-over at each midnight boundary
+/// (concatenate_days). With days == 1 this is exactly generate().
+SimulationTrace generate_episode(const world::GridMap& map,
+                                 const GeneratorConfig& cfg);
+
+/// Generate `n_segments` independent episode traces of `segment` (derived
 /// seeds base.seed + k * 0x9e3779b9) and place them side by side with a
 /// one-tile divider stride — the paper's large-ville construction (§4.3).
-/// `base.n_agents` is the per-segment population.
+/// `base.n_agents` is the per-segment population. Honors base.days.
 SimulationTrace generate_concatenated(const world::GridMap& segment,
                                       std::int32_t n_segments,
                                       const GeneratorConfig& base);
 
 /// As above, but with an explicit per-segment population (all counts >= 1,
 /// base.n_agents ignored) — segment populations need not be equal, so a
-/// total that does not divide evenly loses no agents.
+/// total that does not divide evenly loses no agents. A heterogeneous
+/// base.agent_profiles (sized to the segment totals) is split across the
+/// segments in agent-id order.
 SimulationTrace generate_concatenated(
     const world::GridMap& segment,
     const std::vector<std::int32_t>& agents_per_segment,

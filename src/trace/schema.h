@@ -107,4 +107,19 @@ SimulationTrace slice(const SimulationTrace& full, Step begin, Step end);
 SimulationTrace concatenate_segments(
     const std::vector<SimulationTrace>& segments, std::int32_t stride_x);
 
+/// Prompt-prefix identity of a conversation: every turn of one conversation
+/// shares the prompt prefix in the cache model, so all of its calls carry
+/// this hash. Conversation ids must therefore stay unique across day and
+/// segment concatenation.
+std::uint64_t conversation_prompt_hash(std::int32_t conversation_id);
+
+/// Chain day traces of one population along the TIME axis — a multi-day
+/// episode. Day k must start where day k-1 ended (same agents, same map,
+/// positions continuous at each boundary; every day's start_step is 0).
+/// Calls and interactions are shifted onto the episode's absolute step
+/// axis, and conversation ids (with their prompt hashes) are renumbered so
+/// no two days share a conversation — day boundaries never create
+/// artificial prefix-cache hits.
+SimulationTrace concatenate_days(const std::vector<SimulationTrace>& days);
+
 }  // namespace aimetro::trace

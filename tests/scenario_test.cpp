@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -86,6 +88,64 @@ TEST(SpecParse, RejectsUnknownKey) {
   EXPECT_NE(parsed.error.find("no_such_key"), std::string::npos);
 }
 
+TEST(SpecParse, UnknownKeySuggestsTheNearestValidKey) {
+  // Typos fail hard AND point at the intended key.
+  const auto parsed = parse_spec_text("windw_begin = 4320\n");
+  ASSERT_FALSE(parsed);
+  EXPECT_NE(parsed.error.find("did you mean 'window_begin'?"),
+            std::string::npos);
+
+  ScenarioSpec spec;
+  std::string error;
+  EXPECT_FALSE(apply_override(&spec, "agnets=50", &error));
+  EXPECT_NE(error.find("did you mean 'agents'?"), std::string::npos);
+  EXPECT_FALSE(apply_override(&spec, "popluation=hermit:1", &error));
+  EXPECT_NE(error.find("did you mean 'population'?"), std::string::npos);
+}
+
+TEST(SpecParse, EveryKeyIsSettableAndRoundTrips) {
+  // spec_key_names() is the authoritative key list: every key must accept
+  // its own rendered default back through apply_override.
+  const ScenarioSpec defaults;
+  const std::string text = defaults.to_text();
+  for (const std::string& key : spec_key_names()) {
+    EXPECT_NE(text.find("\n" + key + " = "), std::string::npos)
+        << "to_text() does not render '" << key << "'";
+  }
+  const auto parsed = parse_spec_text(text);
+  ASSERT_TRUE(parsed) << parsed.error;
+  EXPECT_EQ(*parsed.spec, defaults);
+}
+
+TEST(SpecDocs, EverySpecKeyIsDocumented) {
+  // docs/SCENARIO_SPEC.md is the exhaustive key reference; a key added to
+  // the field table without a docs row fails here, not in review.
+  std::ifstream docs(std::string(AIMETRO_SOURCE_DIR) +
+                     "/docs/SCENARIO_SPEC.md");
+  ASSERT_TRUE(docs.good()) << "docs/SCENARIO_SPEC.md missing";
+  std::stringstream buffer;
+  buffer << docs.rdbuf();
+  const std::string text = buffer.str();
+  for (const std::string& key : spec_key_names()) {
+    EXPECT_NE(text.find("`" + key + "`"), std::string::npos)
+        << "spec key '" << key << "' is not documented in SCENARIO_SPEC.md";
+  }
+}
+
+TEST(SpecParse, DaysAndPopulationRoundTrip) {
+  const auto parsed = parse_spec_text(
+      "days = 7\n"
+      "population = townsfolk:0.6,socialite:0.2,commuter:0.15,hermit:0.05\n");
+  ASSERT_TRUE(parsed) << parsed.error;
+  EXPECT_EQ(parsed.spec->days, 7);
+  EXPECT_EQ(parsed.spec->population,
+            "townsfolk:0.6,socialite:0.2,commuter:0.15,hermit:0.05");
+  EXPECT_EQ(parsed.spec->episode_steps(), 7 * 8640);
+  const auto reparsed = parse_spec_text(parsed.spec->to_text());
+  ASSERT_TRUE(reparsed) << reparsed.error;
+  EXPECT_EQ(*reparsed.spec, *parsed.spec);
+}
+
 TEST(SpecParse, RejectsMissingEquals) {
   const auto parsed = parse_spec_text("agents 25\n");
   ASSERT_FALSE(parsed);
@@ -161,6 +221,88 @@ TEST(SpecValidate, CatchesStructuralErrors) {
   EXPECT_NE(err.find("townsfolk"), std::string::npos);  // lists knowns
 }
 
+TEST(SpecValidate, DaysAndPopulation) {
+  ScenarioSpec spec;
+  spec.days = 0;
+  EXPECT_NE(validate_spec(spec), "");
+  spec.days = 65;
+  EXPECT_NE(validate_spec(spec), "");
+  spec.days = 7;
+  EXPECT_EQ(validate_spec(spec), "");
+
+  // Windows may span day boundaries but not the episode's end.
+  spec.window_begin = 8400;
+  spec.window_end = 9000;  // crosses midnight into day 2
+  EXPECT_EQ(validate_spec(spec), "");
+  spec.days = 1;
+  EXPECT_NE(validate_spec(spec), "");  // now past the single day's end
+
+  spec = ScenarioSpec{};
+  spec.population = "townsfolk:0.5,hermit:0.5";
+  EXPECT_EQ(validate_spec(spec), "");
+  spec.population = "warlock:1.0";
+  EXPECT_NE(validate_spec(spec).find("unknown behavior profile"),
+            std::string::npos);
+  spec.population = "townsfolk:0";
+  EXPECT_NE(validate_spec(spec), "");
+  spec.population = "townsfolk:0.5,townsfolk:0.5";
+  EXPECT_NE(validate_spec(spec).find("duplicate"), std::string::npos);
+  spec.population = "townsfolk";
+  EXPECT_NE(validate_spec(spec).find("name:weight"), std::string::npos);
+
+  // Gym agents have no profiles: population on an arena map would be
+  // silently ignored, so it is rejected instead.
+  spec = ScenarioSpec{};
+  spec.map = MapKind::kArena;
+  spec.backend = Backend::kEngine;
+  spec.population = "townsfolk:1";
+  EXPECT_NE(validate_spec(spec).find("population"), std::string::npos);
+}
+
+TEST(PopulationMix, ParsesNormalizesAndRejects) {
+  std::string error;
+  const auto mix = trace::PopulationMix::parse(
+      " townsfolk : 3 , hermit:1 ", &error);
+  ASSERT_TRUE(mix.has_value()) << error;
+  EXPECT_EQ(mix->profiles, (std::vector<std::string>{"townsfolk", "hermit"}));
+  EXPECT_EQ(mix->weights, (std::vector<double>{3.0, 1.0}));
+  // to_text round-trips through parse.
+  const auto again = trace::PopulationMix::parse(mix->to_text(), &error);
+  ASSERT_TRUE(again.has_value()) << error;
+  EXPECT_EQ(again->profiles, mix->profiles);
+
+  EXPECT_FALSE(trace::PopulationMix::parse("", &error).has_value());
+  EXPECT_FALSE(trace::PopulationMix::parse("townsfolk:1,", &error).has_value());
+  EXPECT_FALSE(trace::PopulationMix::parse("townsfolk:-1", &error).has_value());
+  EXPECT_FALSE(trace::PopulationMix::parse("townsfolk:abc", &error).has_value());
+}
+
+TEST(PopulationMix, AssignmentIsDeterministicAndExact) {
+  std::string error;
+  const auto mix = trace::PopulationMix::parse(
+      "townsfolk:0.6,socialite:0.2,commuter:0.15,hermit:0.05", &error);
+  ASSERT_TRUE(mix.has_value()) << error;
+
+  const auto a = trace::assign_profiles(*mix, 20, 42);
+  const auto b = trace::assign_profiles(*mix, 20, 42);
+  EXPECT_EQ(a, b);  // same (mix, n, seed) -> same assignment, always
+
+  // Largest-remainder quotas: the realized mix is exact, not sampled.
+  auto count = [&](const std::vector<std::string>& v, const char* name) {
+    return std::count(v.begin(), v.end(), name);
+  };
+  EXPECT_EQ(count(a, "townsfolk"), 12);
+  EXPECT_EQ(count(a, "socialite"), 4);
+  EXPECT_EQ(count(a, "commuter"), 3);
+  EXPECT_EQ(count(a, "hermit"), 1);
+
+  // A different seed interleaves differently but keeps the same counts.
+  const auto c = trace::assign_profiles(*mix, 20, 7);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(count(c, "townsfolk"), 12);
+  EXPECT_EQ(count(c, "hermit"), 1);
+}
+
 TEST(SpecValidate, UnknownModelAndGpuAreErrorsNotDefaults) {
   ScenarioSpec spec;
   spec.model = "gpt-17";
@@ -211,6 +353,29 @@ TEST(Registry, ScalingVilleIsParameterized) {
 
   EXPECT_FALSE(find_scenario("scaling_ville0", &error).has_value());
   EXPECT_FALSE(find_scenario("scaling_villeXL", &error).has_value());
+}
+
+TEST(Registry, MixedVilleIsParameterized) {
+  std::string error;
+  const auto m12 = find_scenario("mixed_ville12", &error);
+  ASSERT_TRUE(m12.has_value()) << error;
+  EXPECT_EQ(m12->agents, 12);
+  EXPECT_FALSE(m12->population.empty());
+  EXPECT_EQ(validate_spec(*m12), "");
+
+  EXPECT_FALSE(find_scenario("mixed_ville3", &error).has_value());
+  EXPECT_FALSE(find_scenario("mixed_ville9000", &error).has_value());
+  EXPECT_FALSE(find_scenario("mixed_villeXL", &error).has_value());
+}
+
+TEST(Registry, MetropolisWeekIsAMultiDayMixedEpisode) {
+  std::string error;
+  const auto week = find_scenario("metropolis_week", &error);
+  ASSERT_TRUE(week.has_value()) << error;
+  EXPECT_EQ(week->days, 7);
+  EXPECT_FALSE(week->population.empty());
+  EXPECT_EQ(validate_spec(*week), "");
+  EXPECT_EQ(week->episode_steps(), 7 * week->steps_per_day);
 }
 
 TEST(Registry, UnknownNameListsKnownScenarios) {
@@ -278,6 +443,118 @@ TEST(BehaviorProfiles, ProfilesShapeTheWorkload) {
   EXPECT_GT(calls_between(7 * 360, 9 * 360), calls_between(14 * 360, 16 * 360));
 }
 
+// ---- Multi-day episodes ----
+
+namespace {
+
+/// Structural equality of two traces (schema has no operator== on purpose;
+/// tests want the members spelled out for useful failure messages).
+void expect_traces_identical(const trace::SimulationTrace& a,
+                             const trace::SimulationTrace& b) {
+  ASSERT_EQ(a.n_agents, b.n_agents);
+  ASSERT_EQ(a.n_steps, b.n_steps);
+  ASSERT_EQ(a.start_step, b.start_step);
+  ASSERT_EQ(a.agents.size(), b.agents.size());
+  for (std::size_t i = 0; i < a.agents.size(); ++i) {
+    EXPECT_EQ(a.agents[i].positions, b.agents[i].positions) << "agent " << i;
+    EXPECT_EQ(a.agents[i].calls, b.agents[i].calls) << "agent " << i;
+  }
+  EXPECT_EQ(a.interactions, b.interactions);
+}
+
+}  // namespace
+
+TEST(MultiDay, OneDayReducesExactlyToTheSingleDayTrace) {
+  // days = 1 must be byte-identical to the historical single-day
+  // generator — multi-day plumbing cannot perturb existing workloads.
+  const auto map = world::GridMap::smallville(8);
+  trace::GeneratorConfig cfg;
+  cfg.n_agents = 6;
+  cfg.seed = 11;
+  cfg.target_calls_per_25_agents = 6000.0;  // keep the test fast
+  cfg.days = 1;
+  expect_traces_identical(trace::generate_episode(map, cfg),
+                          trace::generate(map, cfg));
+}
+
+TEST(MultiDay, EpisodeChainsDaysWithCarryOverAndFreshRandomness) {
+  const auto map = world::GridMap::urban_grid(6, 12);
+  trace::GeneratorConfig cfg;
+  cfg.n_agents = 6;
+  cfg.seed = 3;
+  cfg.target_calls_per_25_agents = 5000.0;
+  cfg.days = 3;
+  const auto episode = trace::generate_episode(map, cfg);
+  EXPECT_EQ(episode.n_steps, 3 * cfg.steps_per_day);
+  EXPECT_EQ(episode.start_step, 0);
+
+  std::set<std::int32_t> conv_ids_day1, conv_ids_later;
+  for (const auto& agent : episode.agents) {
+    ASSERT_EQ(agent.positions.size(),
+              static_cast<std::size_t>(episode.n_steps) + 1);
+    // Calls land in every day of the episode.
+    bool day1 = false, day2 = false, day3 = false;
+    for (const auto& call : agent.calls) {
+      const std::int32_t d = call.step / cfg.steps_per_day;
+      day1 |= d == 0;
+      day2 |= d == 1;
+      day3 |= d == 2;
+      if (call.conversation_id >= 0) {
+        (d == 0 ? conv_ids_day1 : conv_ids_later).insert(call.conversation_id);
+        // Renumbered ids keep the hash convention.
+        EXPECT_EQ(call.prompt_hash,
+                  trace::conversation_prompt_hash(call.conversation_id));
+      }
+    }
+    EXPECT_TRUE(day1 && day2 && day3) << "agent " << agent.agent;
+  }
+  // Conversation identities never straddle days (no phantom cache hits).
+  for (std::int32_t id : conv_ids_later) {
+    EXPECT_EQ(conv_ids_day1.count(id), 0u);
+  }
+
+  // Fresh per-day randomness: day 2's call pattern differs from day 1's.
+  auto day_steps = [&](std::int32_t day) {
+    std::vector<Step> steps;
+    for (const auto& agent : episode.agents) {
+      for (const auto& call : agent.calls) {
+        const std::int32_t d = call.step / cfg.steps_per_day;
+        if (d == day) steps.push_back(call.step - d * cfg.steps_per_day);
+      }
+    }
+    return steps;
+  };
+  EXPECT_NE(day_steps(0), day_steps(1));
+  EXPECT_NE(day_steps(1), day_steps(2));
+}
+
+TEST(MultiDay, WindowedDesRunReportsPerDayRows) {
+  std::string error;
+  auto spec = find_scenario("metropolis_week", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  spec->days = 2;
+  spec->agents = 8;
+  spec->calls_scale = 0.1;
+  // A window straddling midnight: late day 1 through early day 2.
+  spec->window_begin = 7200;   // 20:00 day 1
+  spec->window_end = 11520;    // 08:00 day 2
+  ASSERT_EQ(validate_spec(*spec), "");
+
+  const auto report = ScenarioDriver(*spec).run(/*serial_baseline=*/false);
+  ASSERT_EQ(report.day_rows.size(), 2u);
+  EXPECT_EQ(report.day_rows[0].day, 0);
+  EXPECT_EQ(report.day_rows[1].day, 1);
+  std::uint64_t row_calls = 0;
+  for (const auto& row : report.day_rows) row_calls += row.calls;
+  EXPECT_EQ(row_calls, report.total_calls);
+  // Day finishes are ordered and positive under virtual time.
+  EXPECT_GT(report.day_rows[0].finish_seconds, 0.0);
+  EXPECT_GE(report.day_rows[1].finish_seconds,
+            report.day_rows[0].finish_seconds);
+  EXPECT_NE(report.summary().find("per-day breakdown"), std::string::npos);
+  EXPECT_NE(report.summary().find("population"), std::string::npos);
+}
+
 // ---- The cross-backend determinism guarantee ----
 
 TEST(CrossBackend, DesAndEngineAgreeOnASparseSpec) {
@@ -307,6 +584,41 @@ TEST(CrossBackend, DesAndEngineAgreeOnASparseSpec) {
   EXPECT_EQ(des.scoreboard_digest, engine.scoreboard_digest);
   // And the engine's serial and OOO executions produced identical worlds.
   EXPECT_EQ(engine.world_hash_serial, engine.world_hash_metro);
+}
+
+TEST(CrossBackend, MixedPopulationAssignmentAndStateAgree) {
+  // A heterogeneous multi-day spec must resolve to the same per-agent
+  // profile assignment — and the same final scoreboard state — on both
+  // backends (both derive it from (population, agents, seed) alone).
+  std::string error;
+  auto spec = find_scenario("metropolis_week", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  spec->days = 2;
+  spec->agents = 6;
+  spec->calls_scale = 0.05;
+  spec->window_begin = 8580;  // 23:50 day 1 ...
+  spec->window_end = 8700;    // ... 00:10 day 2 (120 steps over midnight)
+  spec->workers = 4;
+  spec->call_latency_us = 50;
+  ASSERT_EQ(validate_spec(*spec), "");
+
+  spec->backend = Backend::kDes;
+  const auto des = ScenarioDriver(*spec).run(/*serial_baseline=*/false);
+
+  spec->backend = Backend::kEngine;
+  const auto engine = ScenarioDriver(*spec).run(/*serial_baseline=*/false);
+
+  EXPECT_EQ(des.population, engine.population);
+  EXPECT_FALSE(des.population.empty());
+  EXPECT_EQ(des.agents, engine.agents);
+  EXPECT_EQ(des.total_calls, engine.total_calls);
+  EXPECT_EQ(des.scoreboard_digest, engine.scoreboard_digest);
+  ASSERT_EQ(des.day_rows.size(), 2u);
+  ASSERT_EQ(engine.day_rows.size(), 2u);
+  for (std::size_t d = 0; d < 2; ++d) {
+    EXPECT_EQ(des.day_rows[d].calls, engine.day_rows[d].calls);
+    EXPECT_EQ(des.day_rows[d].input_tokens, engine.day_rows[d].input_tokens);
+  }
 }
 
 TEST(CrossBackend, EngineBackendRunsACoupledScenario) {

@@ -1,13 +1,15 @@
-// aimetro_run: list, describe, and run scenarios.
+// aimetro_run: list, describe, validate, and run scenarios.
 //
 //   aimetro_run --list
+//   aimetro_run --list-md
 //   aimetro_run --describe <name>
+//   aimetro_run --validate <name | spec-file> ...
 //   aimetro_run <name | spec-file> [--backend=des|engine] [key=value ...]
 //
 // A positional argument names a registry scenario or a spec file on disk.
 // Every spec key can be overridden on the command line, either bare
-// ("agents=50") or flag-style ("--agents=50"); see src/scenario/spec.h for
-// the full key list.
+// ("agents=50") or flag-style ("--agents=50"); docs/SCENARIO_SPEC.md is
+// the full key reference.
 #include <sys/stat.h>
 
 #include <cstdio>
@@ -28,8 +30,12 @@ int usage(int code) {
       "usage:\n"
       "  aimetro_run --list                          list built-in "
       "scenarios\n"
+      "  aimetro_run --list-md                       same, as the README's "
+      "markdown table\n"
       "  aimetro_run --describe <name>               print a scenario's "
       "spec text\n"
+      "  aimetro_run --validate <name|spec-file>...  parse + validate "
+      "without running\n"
       "  aimetro_run <name|spec-file> [--skip-serial] [key=value...]\n"
       "                                              run a scenario\n"
       "\n"
@@ -37,11 +43,12 @@ int usage(int code) {
       "cost when only the metropolis numbers matter).\n"
       "\n"
       "overrides: any spec key, bare or flag-style — e.g. agents=50,\n"
-      "--backend=engine, --seed=7, --window_begin=4320. Run --describe on\n"
-      "a scenario to see every key. With backend=engine, clock=virtual\n"
-      "prices LLM calls on the spec's model/GPU cost model and reports\n"
-      "virtual seconds comparable to the des backend (time_scale sets the\n"
-      "wall-time compression).\n");
+      "--backend=engine, --seed=7, --days=7, --window_begin=4320. See\n"
+      "docs/SCENARIO_SPEC.md for the full key reference, or run\n"
+      "--describe on a scenario to see every key. With backend=engine,\n"
+      "clock=virtual prices LLM calls on the spec's model/GPU cost model\n"
+      "and reports virtual seconds comparable to the des backend\n"
+      "(time_scale sets the wall-time compression).\n");
   return code;
 }
 
@@ -57,8 +64,49 @@ int list_scenarios() {
   }
   std::printf(
       "\nscaling_ville<N> accepts any N in [1, 64] (N segments, 25*N "
-      "agents).\n");
+      "agents);\nmixed_ville<N> any N in [4, 400] (N agents from the "
+      "default population mix).\n");
   return 0;
+}
+
+/// The README's scenario table, regenerated from the registry
+/// (`aimetro_run --list-md`); CI fails if the README copy goes stale.
+int list_scenarios_markdown() {
+  std::printf("| name | what it stresses |\n| --- | --- |\n");
+  for (const auto& entry : scenario::registry_entries()) {
+    std::printf("| `%s` | %s |\n", entry.name.c_str(),
+                entry.summary.c_str());
+  }
+  return 0;
+}
+
+/// Resolve a registry name or spec file and validate it; prints one line
+/// per argument. Returns false on any parse or validation error.
+bool validate_one(const std::string& arg) {
+  std::string error;
+  scenario::ScenarioSpec spec;
+  if (auto found = scenario::find_scenario(arg, &error)) {
+    spec = *found;
+  } else if (file_exists(arg)) {
+    auto parsed = scenario::parse_spec_file(arg);
+    if (!parsed) {
+      std::fprintf(stderr, "FAIL  %s: %s\n", arg.c_str(),
+                   parsed.error.c_str());
+      return false;
+    }
+    spec = *parsed.spec;
+  } else {
+    std::fprintf(stderr, "FAIL  %s: %s\n", arg.c_str(), error.c_str());
+    return false;
+  }
+  const std::string invalid = scenario::validate_spec(spec);
+  if (!invalid.empty()) {
+    std::fprintf(stderr, "FAIL  %s: %s\n", arg.c_str(), invalid.c_str());
+    return false;
+  }
+  std::printf("OK    %s (scenario '%s', %s backend)\n", arg.c_str(),
+              spec.name.c_str(), scenario::backend_name(spec.backend));
+  return true;
 }
 
 /// Strip leading dashes so "--agents=50" and "agents=50" both work.
@@ -75,6 +123,13 @@ int main(int argc, char** argv) {
   const std::string first = argv[1];
   if (first == "--help" || first == "-h") return usage(0);
   if (first == "--list") return list_scenarios();
+  if (first == "--list-md") return list_scenarios_markdown();
+  if (first == "--validate") {
+    if (argc < 3) return usage(1);
+    bool ok = true;
+    for (int i = 2; i < argc; ++i) ok = validate_one(argv[i]) && ok;
+    return ok ? 0 : 1;
+  }
 
   std::string error;
   if (first == "--describe") {
