@@ -2,11 +2,16 @@
 // cost the paper's §3.6 engineering keeps off the critical path.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <thread>
+#include <vector>
+
 #include "common/rng.h"
 #include "core/scoreboard.h"
 #include "des/event_loop.h"
 #include "kv/store.h"
 #include "llm/cost_model.h"
+#include "runtime/task_pool.h"
 #include "world/pathfinding.h"
 #include "world/spatial_index.h"
 
@@ -111,6 +116,52 @@ void BM_AStarSmallville(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AStarSmallville);
+
+// ---- Dispatch overhead: per-dispatch thread spawn vs persistent pool ----
+//
+// Before the TaskPool refactor the scenario driver and the gym Env
+// constructed and joined `members` std::threads inside the timed region
+// of every dispatch; the engine-backend numbers therefore carried a
+// pthread_create per member chain on the critical path. These two
+// benchmarks measure exactly that per-dispatch cost against handing the
+// same batch to an already-running TaskPool, so the refactor's win is a
+// number rather than an assertion. Arg = members per dispatch (typical
+// cluster sizes).
+
+void BM_DispatchSpawnThreads(benchmark::State& state) {
+  const auto members = static_cast<int>(state.range(0));
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(members));
+    for (int m = 0; m < members; ++m) {
+      threads.emplace_back(
+          [&sink] { sink.fetch_add(1, std::memory_order_relaxed); });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations() * members);
+}
+BENCHMARK(BM_DispatchSpawnThreads)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_DispatchTaskPool(benchmark::State& state) {
+  const auto members = static_cast<int>(state.range(0));
+  runtime::TaskPool pool(runtime::derive_pool_workers(4));
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    std::vector<runtime::TaskPool::Task> tasks;
+    tasks.reserve(static_cast<std::size_t>(members));
+    for (int m = 0; m < members; ++m) {
+      tasks.push_back(
+          [&sink] { sink.fetch_add(1, std::memory_order_relaxed); });
+    }
+    pool.submit_and_wait(std::move(tasks));
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(state.iterations() * members);
+}
+BENCHMARK(BM_DispatchTaskPool)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_CostModelIteration(benchmark::State& state) {
   const llm::CostModel cm(llm::ModelSpec::llama3_8b(), llm::GpuSpec::l4(), 1);

@@ -1,6 +1,5 @@
 #include "gym/env.h"
 
-#include <future>
 #include <numeric>
 
 #include "common/check.h"
@@ -14,7 +13,10 @@ Env::Env(const world::GridMap* map, std::vector<Tile> starts,
       world_(map, std::move(starts)),
       agents_(std::move(agents)),
       llm_(llm),
-      config_(config) {
+      config_(config),
+      chain_pool_(config.pool_workers > 0
+                      ? config.pool_workers
+                      : runtime::derive_pool_workers(config.n_workers)) {
   AIM_CHECK(map_ != nullptr && llm_ != nullptr);
   AIM_CHECK(world_.agent_count() == agents_.size());
   AIM_CHECK(!agents_.empty());
@@ -58,24 +60,23 @@ std::vector<world::StepIntent> Env::compute_intents(
     intents[0].agent = cluster.members[0];
     return intents;
   }
-  // Coupled agents run concurrently, each in its own thread (§3.6 uses
-  // threads for agents within a worker).
-  std::vector<std::future<world::StepIntent>> futures;
-  futures.reserve(cluster.members.size());
+  // Coupled agents run concurrently as tasks on the persistent member
+  // pool (§3.6 runs agents within a worker concurrently); the calling
+  // worker claims unstarted chains inline, so a saturated pool degrades
+  // to inline execution rather than stalling the cluster. Each task
+  // writes a distinct element of `intents`.
+  std::vector<runtime::TaskPool::Task> tasks;
+  tasks.reserve(cluster.members.size());
   for (std::size_t i = 0; i < cluster.members.size(); ++i) {
-    futures.push_back(std::async(
-        std::launch::async,
-        [this, &observations, &cluster, i] {
-          world::StepIntent intent =
-              agents_[static_cast<std::size_t>(cluster.members[i])]->proceed(
-                  observations[i], *llm_);
-          intent.agent = cluster.members[i];
-          return intent;
-        }));
+    tasks.push_back([this, &observations, &cluster, &intents, i] {
+      world::StepIntent intent =
+          agents_[static_cast<std::size_t>(cluster.members[i])]->proceed(
+              observations[i], *llm_);
+      intent.agent = cluster.members[i];
+      intents[i] = intent;
+    });
   }
-  for (std::size_t i = 0; i < futures.size(); ++i) {
-    intents[i] = futures[i].get();
-  }
+  chain_pool_.submit_and_wait(std::move(tasks), /*priority=*/cluster.step);
   return intents;
 }
 

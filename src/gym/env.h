@@ -15,6 +15,7 @@
 #include "core/dependency_rules.h"
 #include "llm/client.h"
 #include "runtime/engine.h"
+#include "runtime/task_pool.h"
 #include "world/grid_map.h"
 #include "world/world_state.h"
 
@@ -50,6 +51,10 @@ struct EnvConfig {
   core::DependencyParams params;
   Step target_step = 100;
   std::int32_t n_workers = 4;
+  /// Worker threads in the member-chain pool that runs coupled agents'
+  /// LLM chains concurrently (both execution modes). <= 0 derives
+  /// runtime::derive_pool_workers(n_workers).
+  std::int32_t pool_workers = 0;
   /// true: AI Metropolis OOO engine; false: lock-step baseline.
   bool out_of_order = true;
   bool kv_instrumentation = false;
@@ -67,6 +72,9 @@ class Env {
   const world::WorldState& world() const { return world_; }
   std::uint64_t state_hash() const { return world_.state_hash(); }
   std::size_t agent_count() const { return agents_.size(); }
+  /// The persistent pool coupled members' LLM chains run on (its stats
+  /// feed the scenario report).
+  const runtime::TaskPool& chain_pool() const { return chain_pool_; }
 
  private:
   std::vector<world::StepIntent> compute_intents(
@@ -79,6 +87,10 @@ class Env {
   std::vector<std::unique_ptr<Agent>> agents_;
   llm::LlmClient* llm_;
   EnvConfig config_;
+  /// Spawned once at construction; member chains are pool tasks, so the
+  /// per-step cost of running a coupled cluster is a queue push rather
+  /// than a thread (or std::async) spawn inside the timed region.
+  runtime::TaskPool chain_pool_;
 };
 
 }  // namespace aimetro::gym

@@ -1,11 +1,174 @@
 #include "llm/cost_model_client.h"
 
 #include <algorithm>
-#include <iterator>
 
 #include "common/check.h"
 
 namespace aimetro::llm {
+
+// ---- DecodeTimeline ----
+
+DecodeTimeline::DecodeTimeline(const CostModel* cost) : cost_(cost) {
+  AIM_CHECK(cost_ != nullptr);
+}
+
+std::uint64_t DecodeTimeline::admit(SimTime join, std::int64_t output_tokens,
+                                    std::int64_t kv_footprint) {
+  AIM_CHECK(output_tokens >= 1);
+  AIM_CHECK(kv_footprint >= 0);
+  const std::uint64_t id = next_id_++;
+  active_.emplace(id, Req{join, output_tokens, kv_footprint});
+  return id;
+}
+
+void DecodeTimeline::advance(SimTime t) {
+  while (true) {
+    // Compose the batch at the cursor: joined, still decoding.
+    std::int32_t batch = 0;
+    std::int64_t kv = 0;
+    std::int64_t min_remaining = 0;
+    SimTime next_join = kSimTimeMax;
+    for (const auto& [id, r] : active_) {
+      if (r.join <= cursor_) {
+        ++batch;
+        kv += r.kv;
+        min_remaining =
+            batch == 1 ? r.remaining : std::min(min_remaining, r.remaining);
+      } else {
+        next_join = std::min(next_join, r.join);
+      }
+    }
+    if (batch == 0) {
+      if (next_join > t) {
+        // Idle (or idle until a join past t): iterations restart at the
+        // next admission, exactly like Replica::kick.
+        cursor_ = std::max(cursor_, t);
+        return;
+      }
+      cursor_ = next_join;
+      continue;
+    }
+    const SimTime dt = cost_->iteration_time(batch, 0, kv);
+    AIM_CHECK(dt > 0);
+    if (cursor_ + dt > t) return;  // partial iterations never complete
+    // Run identical iterations until the next event: a batch member
+    // finishing, a pending request's first boundary at or after its join
+    // time, or t itself.
+    std::int64_t k = std::min<std::int64_t>(min_remaining, (t - cursor_) / dt);
+    if (next_join != kSimTimeMax) {
+      k = std::min(k, (next_join - cursor_ + dt - 1) / dt);
+    }
+    AIM_CHECK(k >= 1);
+    peak_batch_ = std::max(peak_batch_, batch);
+    const SimTime joined_before = cursor_;
+    cursor_ += k * dt;
+    for (auto it = active_.begin(); it != active_.end();) {
+      Req& r = it->second;
+      if (r.join <= joined_before) {
+        r.remaining -= k;
+        if (r.remaining == 0) {
+          finished_.emplace(it->first, cursor_);
+          it = active_.erase(it);
+          continue;
+        }
+      }
+      ++it;
+    }
+  }
+}
+
+std::vector<std::pair<std::uint64_t, SimTime>>
+DecodeTimeline::simulate_to_drain() const {
+  // The same stepping rule as advance(), on a copy, unbounded in time:
+  // one pass computes every active request's finish — never one
+  // whole-timeline replay per request.
+  struct Sim {
+    std::uint64_t id;
+    SimTime join;
+    std::int64_t remaining;
+    std::int64_t kv;
+  };
+  std::vector<Sim> reqs;
+  reqs.reserve(active_.size());
+  for (const auto& [rid, r] : active_) {
+    reqs.push_back(Sim{rid, r.join, r.remaining, r.kv});
+  }
+  std::vector<std::pair<std::uint64_t, SimTime>> out;
+  out.reserve(reqs.size());
+  SimTime cur = cursor_;
+  while (out.size() < reqs.size()) {
+    std::int32_t batch = 0;
+    std::int64_t kv = 0;
+    std::int64_t min_remaining = 0;
+    SimTime next_join = kSimTimeMax;
+    for (const Sim& r : reqs) {
+      if (r.remaining == 0) continue;
+      if (r.join <= cur) {
+        ++batch;
+        kv += r.kv;
+        min_remaining =
+            batch == 1 ? r.remaining : std::min(min_remaining, r.remaining);
+      } else {
+        next_join = std::min(next_join, r.join);
+      }
+    }
+    if (batch == 0) {
+      AIM_CHECK(next_join != kSimTimeMax);  // someone is still decoding
+      cur = next_join;
+      continue;
+    }
+    const SimTime dt = cost_->iteration_time(batch, 0, kv);
+    AIM_CHECK(dt > 0);
+    std::int64_t k = min_remaining;
+    if (next_join != kSimTimeMax) {
+      k = std::min(k, (next_join - cur + dt - 1) / dt);
+    }
+    AIM_CHECK(k >= 1);
+    const SimTime joined_before = cur;
+    cur += k * dt;
+    for (Sim& r : reqs) {
+      if (r.remaining > 0 && r.join <= joined_before) {
+        r.remaining -= k;
+        if (r.remaining == 0) out.emplace_back(r.id, cur);
+      }
+    }
+  }
+  return out;
+}
+
+SimTime DecodeTimeline::predict_finish(std::uint64_t id) const {
+  if (const auto f = finished_.find(id); f != finished_.end()) {
+    return f->second;
+  }
+  AIM_CHECK_MSG(active_.count(id) != 0, "unknown timeline request");
+  for (const auto& [rid, finish] : simulate_to_drain()) {
+    if (rid == id) return finish;
+  }
+  AIM_CHECK_MSG(false, "simulate_to_drain lost a request");
+  return 0;
+}
+
+std::vector<SimTime> DecodeTimeline::predicted_finishes() const {
+  std::vector<SimTime> out;
+  out.reserve(finished_.size() + active_.size());
+  for (const auto& [id, t] : finished_) out.push_back(t);
+  for (const auto& [id, t] : simulate_to_drain()) out.push_back(t);
+  return out;
+}
+
+bool DecodeTimeline::finished(std::uint64_t id) const {
+  return finished_.count(id) != 0;
+}
+
+SimTime DecodeTimeline::take_finish(std::uint64_t id) {
+  const auto it = finished_.find(id);
+  AIM_CHECK_MSG(it != finished_.end(), "take_finish on an unfinished request");
+  const SimTime t = it->second;
+  finished_.erase(it);
+  return t;
+}
+
+// ---- CostModelLlmClient ----
 
 CostModelLlmClient::CostModelLlmClient(CostModel cost,
                                        const runtime::SimClock* clock,
@@ -15,12 +178,13 @@ CostModelLlmClient::CostModelLlmClient(CostModel cost,
   AIM_CHECK(cfg_.data_parallel >= 1);
   AIM_CHECK(cfg_.max_running_requests >= 1);
   AIM_CHECK(cfg_.max_prefill_tokens_per_iter >= 1);
-  replicas_.resize(static_cast<std::size_t>(cfg_.data_parallel));
+  replicas_.reserve(static_cast<std::size_t>(cfg_.data_parallel));
+  for (std::int32_t i = 0; i < cfg_.data_parallel; ++i) {
+    replicas_.push_back(std::make_unique<ReplicaState>(&cost_));
+  }
 }
 
-SimTime CostModelLlmClient::virtual_latency(
-    std::int64_t prompt_tokens, std::int64_t output_tokens,
-    std::int32_t decode_batch, std::int64_t kv_resident_tokens) const {
+SimTime CostModelLlmClient::prefill_time(std::int64_t prompt_tokens) const {
   SimTime t = 0;
   std::int64_t remaining = prompt_tokens;
   while (remaining > 0) {
@@ -29,13 +193,19 @@ SimTime CostModelLlmClient::virtual_latency(
     t += cost_.iteration_time(0, chunk, 0);
     remaining -= chunk;
   }
+  return t;
+}
+
+SimTime CostModelLlmClient::virtual_latency(
+    std::int64_t prompt_tokens, std::int64_t output_tokens,
+    std::int32_t decode_batch, std::int64_t kv_resident_tokens) const {
   // Continuous batching decodes one token per running request per
   // iteration, so a request's decode time is output_tokens iterations at
   // the batch it runs in — nearly flat in batch size (memory-bound),
   // which is exactly what makes parallelism pay.
-  t += output_tokens * cost_.iteration_time(decode_batch, 0,
-                                            kv_resident_tokens);
-  return t;
+  return prefill_time(prompt_tokens) +
+         output_tokens * cost_.iteration_time(decode_batch, 0,
+                                              kv_resident_tokens);
 }
 
 CompletionResult CostModelLlmClient::complete(
@@ -46,50 +216,79 @@ CompletionResult CostModelLlmClient::complete(
   const std::int64_t output_tokens =
       std::max<std::int64_t>(1, request.max_tokens);
   const std::int64_t kv_footprint = prompt_tokens + output_tokens;
+  const SimTime prefill = prefill_time(prompt_tokens);
 
-  SimTime finish = 0;
   std::size_t replica_idx = 0;
+  std::uint64_t id = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    const SimTime arrival = clock_->now();
     // Least-loaded routing, lowest index on ties (Cluster::route).
-    replica_idx = 0;
+    // Serialized by route_mutex_ so the invariant "pick a busier replica
+    // only when every replica is at least as busy" is exact, as it was
+    // under the old global lock.
+    std::lock_guard<std::mutex> route_lock(route_mutex_);
     for (std::size_t i = 1; i < replicas_.size(); ++i) {
-      if (replicas_[i].running < replicas_[replica_idx].running) {
+      if (replicas_[i]->inflight < replicas_[replica_idx]->inflight) {
         replica_idx = i;
       }
     }
-    ReplicaState& r = replicas_[replica_idx];
+    ReplicaState& r = *replicas_[replica_idx];
+    std::lock_guard<std::mutex> lock(r.mutex);
+    const SimTime arrival = clock_->now();
+    r.timeline.advance(arrival);
     // At capacity the call queues (in virtual time) until in-flight work
-    // drops below the cap: with `running` calls ahead of it, it starts
-    // once running - cap + 1 of their finishes have passed — each
+    // drops below the cap: with `inflight` calls ahead of it, it starts
+    // once inflight - cap + 1 of their finishes have passed — each
     // overflow call waits for its own slot, not just the earliest one.
-    // No preemption, matching the paper.
+    // No preemption, matching the paper. Slots come from *predicted*
+    // finishes now that batches are re-priced every iteration.
     SimTime start = arrival;
-    if (r.running >= cfg_.max_running_requests) {
-      auto slot = r.finishes.begin();
-      std::advance(slot, r.running - cfg_.max_running_requests);
-      start = std::max(start, *slot);
+    if (r.inflight >= cfg_.max_running_requests) {
+      std::vector<SimTime> finishes = r.timeline.predicted_finishes();
+      const auto slot =
+          static_cast<std::size_t>(r.inflight - cfg_.max_running_requests);
+      AIM_CHECK(slot < finishes.size());
+      std::nth_element(finishes.begin(), finishes.begin() + slot,
+                       finishes.end());
+      start = std::max(start, finishes[slot]);
     }
-    const std::int32_t decode_batch =
-        std::min(r.running + 1, cfg_.max_running_requests);
-    const SimTime service = virtual_latency(
-        prompt_tokens, output_tokens, decode_batch, r.kv_tokens + kv_footprint);
-    finish = start + service;
-    r.running += 1;
-    r.kv_tokens += kv_footprint;
-    r.finishes.insert(finish);
-    peak_batch_ = std::max(peak_batch_, decode_batch);
+    // Prefill runs as the request's own chunked iterations; its decode
+    // joins the replica's shared batch afterwards.
+    id = r.timeline.admit(start + prefill, output_tokens, kv_footprint);
+    r.inflight += 1;
   }
 
-  clock_->sleep_until(finish);
-
+  // Block until the decode timeline completes the call: sleep to the
+  // predicted finish, fold completed iterations in, and repeat — an
+  // arrival during the sleep joins the batch and pushes the prediction
+  // later, which is precisely the iteration-accurate behaviour. The
+  // per-wake replays hold only this replica's mutex.
+  ReplicaState& r = *replicas_[replica_idx];
+  SimTime finish = 0;
+  while (true) {
+    SimTime target = 0;
+    bool done = false;
+    {
+      std::lock_guard<std::mutex> lock(r.mutex);
+      r.timeline.advance(clock_->now());
+      if (r.timeline.finished(id)) {
+        done = true;
+      } else {
+        target = r.timeline.predict_finish(id);
+      }
+    }
+    if (done) {
+      // Reap under both locks so admission's slot math never sees the
+      // timeline entry gone while `inflight` still counts it
+      // (std::scoped_lock acquires deadlock-free).
+      std::scoped_lock locks(route_mutex_, r.mutex);
+      finish = r.timeline.take_finish(id);
+      r.inflight -= 1;
+      break;
+    }
+    clock_->sleep_until(target);
+  }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ReplicaState& r = replicas_[replica_idx];
-    r.running -= 1;
-    r.kv_tokens -= kv_footprint;
-    r.finishes.erase(r.finishes.find(finish));
+    std::lock_guard<std::mutex> lock(stats_mutex_);
     last_finish_ = std::max(last_finish_, finish);
     calls_ += 1;
   }
@@ -102,18 +301,22 @@ CompletionResult CostModelLlmClient::complete(
 }
 
 std::uint64_t CostModelLlmClient::calls() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
   return calls_;
 }
 
 SimTime CostModelLlmClient::last_finish() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
   return last_finish_;
 }
 
 std::int32_t CostModelLlmClient::peak_batch() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return peak_batch_;
+  std::int32_t peak = 0;
+  for (const auto& r : replicas_) {
+    std::lock_guard<std::mutex> lock(r->mutex);
+    peak = std::max(peak, r->timeline.peak_batch());
+  }
+  return peak;
 }
 
 }  // namespace aimetro::llm

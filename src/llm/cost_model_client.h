@@ -3,27 +3,37 @@
 // FakeLlmClient sleeps a fixed configured latency per call, so engine-
 // backend completion times measured with it say nothing about a real
 // serving platform. CostModelLlmClient instead prices every call on the
-// same llm::CostModel the discrete-event simulator uses — chunked prefill
-// plus one decode iteration per output token at the replica's current
-// batch size — and routes calls across `data_parallel` replica queues the
-// way llm::Cluster routes requests (least-loaded replica, capacity-gated
-// admission). The computed latency is served on a runtime::SimClock:
-// callers block for latency/scale wall time while the full latency
-// advances on the virtual axis, so the threaded engine's serial and
-// metropolis runs report virtual seconds directly comparable to the DES
-// backend's numbers for the same workload.
+// same llm::CostModel the discrete-event simulator uses and routes calls
+// across `data_parallel` replica queues the way llm::Cluster routes
+// requests (least-loaded replica, capacity-gated admission). The computed
+// latency is served on a runtime::SimClock: callers block for
+// latency/scale wall time while the full latency advances on the virtual
+// axis, so the threaded engine's serial and metropolis runs report
+// virtual seconds directly comparable to the DES backend's numbers.
 //
-// Approximations vs. the event-driven Cluster (documented in README):
-// decode batch is sampled once at admission instead of re-priced every
-// iteration, prefill does not share iterations with co-resident decodes,
-// and the KV-resident footprint counts whole requests (prompt + full
-// output) rather than growing token by token.
+// Decode is priced *per iteration*, event-driven, exactly like the DES
+// Replica's continuous batching: each replica keeps a DecodeTimeline that
+// replays decode iterations on the virtual axis, and a request's decode
+// latency is the sum of iteration_time over the batches it actually
+// shares — a call admitted alone that is later joined by others gets
+// slower mid-flight, and vice versa. Prefill is chunked at
+// max_prefill_tokens_per_iter and runs as the request's own iterations
+// before its decode joins the batch.
+//
+// Remaining approximations vs. the event-driven Cluster (documented in
+// docs/ARCHITECTURE.md): prefill does not share iterations with
+// co-resident decodes, the KV-resident footprint counts whole requests
+// (prompt + full output) rather than growing token by token, and
+// capacity gating uses predicted finish times (later arrivals can shift
+// a predicted slot slightly).
 #pragma once
 
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <mutex>
-#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/types.h"
@@ -32,6 +42,76 @@
 #include "runtime/sim_clock.h"
 
 namespace aimetro::llm {
+
+/// Event-driven continuous-batching decode timeline for one replica.
+///
+/// Mirrors Replica::run_iteration on the virtual axis without an event
+/// loop: iterations run back to back whenever at least one admitted
+/// request is decoding; every iteration decodes one token per batch
+/// member and costs CostModel::iteration_time(batch, 0, kv) where kv is
+/// the batch's resident footprint. A request joins the first iteration
+/// whose start is >= its join time (admission happens at iteration
+/// boundaries, as in the DES replica) and finishes at the boundary of
+/// the iteration that produces its last token.
+///
+/// Not thread-safe by itself: CostModelLlmClient guards each replica's
+/// timeline with that replica's mutex (one lock per replica, so traffic
+/// on one replica never blocks another). Exposed for unit tests —
+/// deterministic, no clock, no threads.
+class DecodeTimeline {
+ public:
+  explicit DecodeTimeline(const CostModel* cost);
+
+  /// Admit a request whose decode joins at virtual time `join`, needing
+  /// `output_tokens` iterations with `kv_footprint` tokens resident.
+  /// Returns the request's timeline id.
+  std::uint64_t admit(SimTime join, std::int64_t output_tokens,
+                      std::int64_t kv_footprint);
+
+  /// Complete every whole iteration that ends at or before `t` (partial
+  /// iterations do not advance the cursor).
+  void advance(SimTime t);
+
+  /// This request's finish time assuming no further admissions — exact
+  /// once it is the latest-finishing request, a lower bound otherwise
+  /// (later arrivals can only lengthen shared iterations).
+  SimTime predict_finish(std::uint64_t id) const;
+
+  /// Finish times of every admitted, un-reaped request: exact for those
+  /// already finished, predicted (per predict_finish) for active ones.
+  /// Unsorted. Feeds capacity-slot queueing.
+  std::vector<SimTime> predicted_finishes() const;
+
+  bool finished(std::uint64_t id) const;
+  /// Pop a finished request's exact finish time (checked: must be
+  /// finished).
+  SimTime take_finish(std::uint64_t id);
+
+  /// Admitted requests that have not yet finished decoding.
+  std::int32_t active() const { return static_cast<std::int32_t>(active_.size()); }
+  /// Largest decode batch any completed iteration actually ran with.
+  std::int32_t peak_batch() const { return peak_batch_; }
+  SimTime cursor() const { return cursor_; }
+
+ private:
+  struct Req {
+    SimTime join = 0;
+    std::int64_t remaining = 0;
+    std::int64_t kv = 0;
+  };
+
+  /// Unbounded replay of the stepping rule over a copy of active_ until
+  /// every request drains, reporting each (id, finish). The single
+  /// source of truth predict_finish and predicted_finishes share.
+  std::vector<std::pair<std::uint64_t, SimTime>> simulate_to_drain() const;
+
+  const CostModel* cost_;
+  std::map<std::uint64_t, Req> active_;
+  std::map<std::uint64_t, SimTime> finished_;
+  SimTime cursor_ = 0;
+  std::uint64_t next_id_ = 0;
+  std::int32_t peak_batch_ = 0;
+};
 
 struct CostModelClientConfig {
   /// Independent replica queues, as ParallelismConfig::data_parallel.
@@ -54,10 +134,13 @@ class CostModelLlmClient : public LlmClient {
 
   CompletionResult complete(const CompletionRequest& request) override;
 
-  /// Pure latency model, exposed so tests can pin it against
-  /// CostModel::iteration_time: chunked prefill of `prompt_tokens`, then
-  /// `output_tokens` decode iterations at `decode_batch` with
-  /// `kv_resident_tokens` of context resident on the replica.
+  /// Constant-batch reference latency, exposed so tests can pin the
+  /// pricing against CostModel::iteration_time: chunked prefill of
+  /// `prompt_tokens`, then `output_tokens` decode iterations at a fixed
+  /// `decode_batch` with `kv_resident_tokens` of context resident. This
+  /// is exactly what complete() charges a call that shares every decode
+  /// iteration with the same batch (e.g. a call running alone prices at
+  /// decode_batch = 1, kv = its own footprint).
   SimTime virtual_latency(std::int64_t prompt_tokens,
                           std::int64_t output_tokens,
                           std::int32_t decode_batch,
@@ -67,26 +150,42 @@ class CostModelLlmClient : public LlmClient {
   std::uint64_t calls() const;
   /// Latest virtual finish time across all completed calls.
   SimTime last_finish() const;
-  /// Largest decode batch any call was admitted at (diagnostics).
+  /// Largest decode batch any completed iteration actually ran with, from
+  /// the per-iteration accounting (diagnostics). Admission-time batch
+  /// snapshots are gone: this is the true peak concurrent batch.
   std::int32_t peak_batch() const;
 
  private:
+  /// Chunked prefill time for `prompt_tokens` (the decode-free prefix of
+  /// virtual_latency).
+  SimTime prefill_time(std::int64_t prompt_tokens) const;
+
   struct ReplicaState {
-    std::int32_t running = 0;
-    std::int64_t kv_tokens = 0;
-    /// Virtual finish times of in-flight calls (slot release schedule).
-    std::multiset<SimTime> finishes;
+    explicit ReplicaState(const CostModel* cost) : timeline(cost) {}
+    /// Guards `timeline`. Per-replica, so the frequent per-wake replays
+    /// (advance + predict) on one replica never block traffic on
+    /// another.
+    std::mutex mutex;
+    /// Calls admitted and not yet reaped by their waiting thread.
+    /// Guarded by the client's route_mutex_ (and mutated only while the
+    /// replica mutex is also held, so admission's slot math sees
+    /// `inflight` and the timeline change together).
+    std::int32_t inflight = 0;
+    DecodeTimeline timeline;
   };
 
   CostModel cost_;
   const runtime::SimClock* clock_;
   CostModelClientConfig cfg_;
 
-  mutable std::mutex mutex_;
-  std::vector<ReplicaState> replicas_;
+  /// Serializes routing decisions and inflight bookkeeping (cheap, O(dp)
+  /// argmin) so least-loaded routing stays exact. Lock order:
+  /// route_mutex_ before a replica mutex.
+  mutable std::mutex route_mutex_;
+  std::vector<std::unique_ptr<ReplicaState>> replicas_;
+  mutable std::mutex stats_mutex_;  // calls_ + last_finish_
   std::uint64_t calls_ = 0;
   SimTime last_finish_ = 0;
-  std::int32_t peak_batch_ = 0;
 };
 
 }  // namespace aimetro::llm

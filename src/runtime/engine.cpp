@@ -12,6 +12,18 @@ Engine::Engine(world::WorldState* world, EngineConfig config, StepFn step_fn)
   AIM_CHECK(world_ != nullptr);
   AIM_CHECK(step_fn_ != nullptr);
   AIM_CHECK(config_.n_workers >= 1);
+  if (config_.pool != nullptr) {
+    // The controller dispatches while holding state_mutex_, which every
+    // worker needs to commit: a bounded queue's backpressure would then
+    // deadlock the dispatcher against its own workers. Refuse loudly.
+    AIM_CHECK_MSG(config_.pool->max_queued() == 0,
+                  "Engine requires an unbounded TaskPool (dispatch happens "
+                  "under the engine lock; backpressure would deadlock)");
+    pool_ = config_.pool;
+  } else {
+    owned_pool_ = std::make_unique<TaskPool>(config_.n_workers);
+    pool_ = owned_pool_.get();
+  }
   std::vector<Pos> initial;
   initial.reserve(world_->agent_count());
   for (std::size_t i = 0; i < world_->agent_count(); ++i) {
@@ -32,39 +44,47 @@ Engine::Engine(world::WorldState* world, EngineConfig config, StepFn step_fn)
 }
 
 Engine::~Engine() {
-  ready_queue_.close();
-  ack_queue_.close();
-  for (auto& w : workers_) {
-    if (w.joinable()) w.join();
-  }
+  // In-flight cluster tasks reference this engine; when the pool is
+  // external we cannot rely on the pool destructor to join them, so drain
+  // explicitly either way.
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  done_cv_.wait(lock, [&] { return inflight_clusters_ == 0; });
 }
 
 void Engine::dispatch_ready_locked() {
-  // Caller holds state_mutex_. Ready clusters go to the ready queue in
-  // step-priority order; workers pull the earliest step first (§3.5).
+  // Caller holds state_mutex_. Ready clusters become pool tasks at their
+  // step as the submission priority, so a backlogged pool still hands the
+  // earliest step to the next free worker (§3.5).
+  if (error_ != nullptr) return;  // failed runs stop dispatching
   for (core::AgentCluster& cluster : scoreboard_->pop_ready_clusters()) {
     const Step step = cluster.step;
-    ready_queue_.push(step, std::move(cluster));
+    ++inflight_clusters_;
+    pool_->submit(step, [this, cluster = std::move(cluster)]() mutable {
+      execute_cluster(std::move(cluster));
+    });
   }
 }
 
-void Engine::worker_loop() {
-  while (true) {
-    std::optional<core::AgentCluster> cluster = ready_queue_.pop();
-    if (!cluster) return;  // queue closed: simulation finished
+void Engine::execute_cluster(core::AgentCluster cluster) {
+  // Heavy lifting off the controller's critical path (§3.6): agent
+  // processing (LLM calls) runs without any engine lock.
+  std::vector<world::StepIntent> intents;
+  std::exception_ptr error;
+  try {
+    intents = step_fn_(cluster, *world_);
+  } catch (...) {
+    error = std::current_exception();
+  }
 
-    // Heavy lifting off the controller's critical path (§3.6): agent
-    // processing (LLM calls) runs without any engine lock.
-    std::vector<world::StepIntent> intents = step_fn_(*cluster, *world_);
-
-    {
-      std::lock_guard<std::mutex> lock(state_mutex_);
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (error == nullptr && error_ == nullptr) {
+    try {
       // resolve_conflict_and_commit applies developer conflict rules and
       // commits winners to the world; the unique world lock excludes
       // concurrent observation readers in other workers.
       std::unique_lock<std::shared_mutex> world_lock(world_->mutex());
       const auto outcomes =
-          world_->resolve_conflict_and_commit(cluster->step, intents);
+          world_->resolve_conflict_and_commit(cluster.step, intents);
       world_lock.unlock();
       std::vector<std::pair<AgentId, Pos>> moves;
       moves.reserve(outcomes.size());
@@ -79,15 +99,15 @@ void Engine::worker_loop() {
         kv::Transaction txn = store_.transaction();
         for (const auto& out : outcomes) {
           const std::string key = strformat("agent:%d", out.agent);
-          txn.hset(key, "step", std::to_string(cluster->step + 1));
+          txn.hset(key, "step", std::to_string(cluster.step + 1));
           txn.hset(key, "x", std::to_string(out.tile.x));
           txn.hset(key, "y", std::to_string(out.tile.y));
         }
         txn.rpush("log:commits",
-                  strformat("step=%d size=%zu", cluster->step,
-                            cluster->members.size()));
+                  strformat("step=%d size=%zu", cluster.step,
+                            cluster.members.size()));
         txn.incr_by("stats:agent_steps",
-                    static_cast<std::int64_t>(cluster->members.size()));
+                    static_cast<std::int64_t>(cluster.members.size()));
         const auto result = txn.exec();
         std::lock_guard<std::mutex> slock(stats_mutex_);
         ++stats_.kv_transactions;
@@ -96,36 +116,32 @@ void Engine::worker_loop() {
       {
         std::lock_guard<std::mutex> slock(stats_mutex_);
         ++stats_.clusters_executed;
-        stats_.agent_steps += cluster->members.size();
+        stats_.agent_steps += cluster.members.size();
       }
       dispatch_ready_locked();
+    } catch (...) {
+      error = std::current_exception();
     }
-    ack_queue_.push(1);
   }
+  if (error != nullptr && error_ == nullptr) error_ = error;
+  --inflight_clusters_;
+  // The commit that finishes the last agent (or records the first error)
+  // is what unblocks run(); the ack queue the controller used to drain is
+  // gone.
+  done_cv_.notify_all();
 }
 
 EngineStats Engine::run() {
-  {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    dispatch_ready_locked();
-  }
-  for (std::int32_t i = 0; i < config_.n_workers; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
-  }
-  // Controller: consume acks until every agent has reached the target.
-  while (true) {
-    {
-      std::lock_guard<std::mutex> lock(state_mutex_);
-      if (scoreboard_->all_done()) break;
-    }
-    std::optional<int> ack = ack_queue_.pop();
-    if (!ack) break;
-  }
-  ready_queue_.close();
-  for (auto& w : workers_) {
-    if (w.joinable()) w.join();
-  }
-  workers_.clear();
+  std::unique_lock<std::mutex> lock(state_mutex_);
+  dispatch_ready_locked();
+  // Controller: wait until every agent has reached the target (or a task
+  // failed) and all in-flight cluster tasks have drained.
+  done_cv_.wait(lock, [&] {
+    return (scoreboard_->all_done() || error_ != nullptr) &&
+           inflight_clusters_ == 0;
+  });
+  if (error_ != nullptr) std::rethrow_exception(error_);
+  lock.unlock();
   std::lock_guard<std::mutex> slock(stats_mutex_);
   return stats_;
 }

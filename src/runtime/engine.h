@@ -1,29 +1,34 @@
 // The real (threaded) AI Metropolis engine — Algorithm 3 with live agents.
 //
 // Architecture mirrors §3.1/§3.6: a controller on a light critical path
-// exchanges work with a worker pool through two step-priority queues
-// (ready and ack); workers run every agent in a cluster concurrently, call
-// the LLM through the blocking client shim, commit writes to the world and
-// the dependency scoreboard, and acknowledge. All shared simulation state
-// is additionally mirrored into the in-memory kv store (the paper keeps it
-// in Redis) — agent rows are updated transactionally at each commit and an
-// instrumentation log records every cluster dispatch.
+// exchanges work with a persistent worker pool (runtime::TaskPool); every
+// ready cluster becomes one pool task, submitted at its step as the
+// priority so the earliest-step cluster always runs first (§3.5). Workers
+// run every agent in a cluster, call the LLM through the blocking client
+// shim, commit writes to the world and the dependency scoreboard, and
+// submit whatever clusters the commit released — so dispatch is a queue
+// push, never a thread spawn, and nothing heavier than a condition
+// variable sits on the controller's critical path. All shared simulation
+// state is additionally mirrored into the in-memory kv store (the paper
+// keeps it in Redis) — agent rows are updated transactionally at each
+// commit and an instrumentation log records every cluster dispatch.
 //
 // The paper uses processes to dodge the Python GIL; C++ threads carry no
-// such penalty, so workers are threads here. The scheduling policy objects
-// (Scoreboard, clustering, priorities) are the same code the
+// such penalty, so workers are pool threads here. The scheduling policy
+// objects (Scoreboard, clustering, priorities) are the same code the
 // discrete-event benchmarks use.
 #pragma once
 
+#include <condition_variable>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
-#include <thread>
 #include <vector>
 
-#include "common/sync_queue.h"
 #include "core/scoreboard.h"
 #include "kv/store.h"
+#include "runtime/task_pool.h"
 #include "world/world_state.h"
 
 namespace aimetro::runtime {
@@ -34,6 +39,14 @@ struct EngineConfig {
   std::int32_t n_workers = 4;
   /// Mirror agent state and an instrumentation stream into the kv store.
   bool kv_instrumentation = true;
+  /// Run cluster tasks on an externally owned pool instead of a private
+  /// one (the pool must outlive the engine and have no queue bound —
+  /// dispatch happens under the engine lock, so backpressure would
+  /// deadlock the dispatcher against its own workers; checked at
+  /// construction). Cluster concurrency is then bounded by that pool's
+  /// worker count, not n_workers — share a pool only when that is what
+  /// you mean.
+  TaskPool* pool = nullptr;
 };
 
 struct EngineStats {
@@ -51,6 +64,8 @@ class Engine {
   using StepFn = std::function<std::vector<world::StepIntent>(
       const core::AgentCluster& cluster, const world::WorldState& world)>;
 
+  /// Spawns the private worker pool (when config.pool is null) here, so a
+  /// caller timing run() never measures thread creation.
   Engine(world::WorldState* world, EngineConfig config, StepFn step_fn);
   ~Engine();
 
@@ -58,13 +73,16 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   /// Run the simulation to target_step. Blocking; returns aggregate stats.
+  /// Rethrows the first exception a cluster task raised (the run stops
+  /// dispatching and drains in-flight work first).
   EngineStats run();
 
   const core::Scoreboard& scoreboard() const { return *scoreboard_; }
   kv::Store& store() { return store_; }
+  const TaskPool& pool() const { return *pool_; }
 
  private:
-  void worker_loop();
+  void execute_cluster(core::AgentCluster cluster);
   void dispatch_ready_locked();
 
   world::WorldState* world_;
@@ -73,10 +91,13 @@ class Engine {
   std::unique_ptr<core::Scoreboard> scoreboard_;
   kv::Store store_;
 
+  std::unique_ptr<TaskPool> owned_pool_;
+  TaskPool* pool_ = nullptr;
+
   std::mutex state_mutex_;  // guards scoreboard_ + world_ commits
-  SyncPriorityQueue<core::AgentCluster, Step> ready_queue_;
-  SyncQueue<int> ack_queue_;
-  std::vector<std::thread> workers_;
+  std::condition_variable done_cv_;
+  std::uint64_t inflight_clusters_ = 0;  // guarded by state_mutex_
+  std::exception_ptr error_;             // first task failure; stops dispatch
   EngineStats stats_;
   std::mutex stats_mutex_;
 };

@@ -1,0 +1,175 @@
+#include "runtime/task_pool.h"
+
+#include <atomic>
+#include <exception>
+#include <utility>
+
+#include "common/check.h"
+
+namespace aimetro::runtime {
+
+namespace {
+/// The pool (if any) the current thread is executing a task for. Lets
+/// submit() recognize recursive submissions and bypass the queue bound.
+thread_local const TaskPool* t_current_pool = nullptr;
+
+class CurrentPoolScope {
+ public:
+  explicit CurrentPoolScope(const TaskPool* pool) : saved_(t_current_pool) {
+    t_current_pool = pool;
+  }
+  ~CurrentPoolScope() { t_current_pool = saved_; }
+
+ private:
+  const TaskPool* saved_;
+};
+}  // namespace
+
+struct TaskPool::Handle::State {
+  TaskPool::Task fn;
+  /// Set by whichever thread claims the task (worker or waiting caller);
+  /// losers skip it. This is the entire inline-claiming mechanism.
+  std::atomic<bool> claimed{false};
+
+  std::mutex m;
+  std::condition_variable cv;
+  bool done = false;
+  std::exception_ptr error;
+};
+
+void TaskPool::Handle::wait() const {
+  AIM_CHECK_MSG(state_ != nullptr, "wait() on an empty TaskPool::Handle");
+  std::unique_lock<std::mutex> lock(state_->m);
+  state_->cv.wait(lock, [&] { return state_->done; });
+  if (state_->error) std::rethrow_exception(state_->error);
+}
+
+TaskPool::TaskPool(TaskPoolConfig config) : max_queued_(config.max_queued) {
+  AIM_CHECK(config.n_workers >= 1);
+  threads_.reserve(static_cast<std::size_t>(config.n_workers));
+  for (std::int32_t i = 0; i < config.n_workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+TaskPool::~TaskPool() { shutdown(); }
+
+TaskPool::Handle TaskPool::submit(std::int64_t priority, Task fn) {
+  AIM_CHECK(fn != nullptr);
+  auto state = std::make_shared<Handle::State>();
+  state->fn = std::move(fn);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    AIM_CHECK_MSG(!shut_down_, "submit() on a shut-down TaskPool");
+    if (max_queued_ > 0 && t_current_pool != this) {
+      space_cv_.wait(lock, [&] { return queued_ < max_queued_ || shut_down_; });
+      AIM_CHECK_MSG(!shut_down_, "TaskPool shut down while submit() blocked");
+    }
+    ++queued_;
+    ++in_flight_;
+    if (in_flight_ > stats_.peak_in_flight) stats_.peak_in_flight = in_flight_;
+    // Push while still holding mutex_: a shutdown() racing this submit
+    // either sees the task already queued (and drains it) or wins the
+    // flag check above — a task can never land in a queue no worker will
+    // ever pop. The queue's internal lock nests inside mutex_ only here;
+    // workers release it before taking mutex_, so there is no inversion.
+    queue_.push(priority, state);
+  }
+  return Handle(state);
+}
+
+void TaskPool::submit_and_wait(std::vector<Task> tasks,
+                               std::int64_t priority) {
+  // Marking the whole batch as pool-internal bypasses the queue bound:
+  // the caller is about to help drain whatever it enqueues.
+  CurrentPoolScope scope(this);
+  std::vector<Handle> handles;
+  handles.reserve(tasks.size());
+  for (Task& task : tasks) {
+    handles.push_back(submit(priority, std::move(task)));
+  }
+  // Run-or-wait: claim our own tasks so the batch makes progress even when
+  // no worker is free (or every worker is itself waiting on a batch).
+  for (const Handle& h : handles) {
+    try_execute(h.state_, /*inline_run=*/true);
+  }
+  std::exception_ptr first;
+  for (const Handle& h : handles) {
+    try {
+      h.wait();
+    } catch (...) {
+      if (first == nullptr) first = std::current_exception();
+    }
+  }
+  if (first != nullptr) std::rethrow_exception(first);
+}
+
+void TaskPool::wait_idle() const {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+}
+
+void TaskPool::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shut_down_ = true;
+  }
+  space_cv_.notify_all();
+  queue_.close();  // workers drain the backlog, then exit
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+TaskPoolStats TaskPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void TaskPool::worker_loop() {
+  CurrentPoolScope scope(this);
+  while (std::optional<StatePtr> state = queue_.pop()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --queued_;
+    }
+    space_cv_.notify_one();
+    try_execute(*state, /*inline_run=*/false);
+  }
+}
+
+bool TaskPool::try_execute(const StatePtr& state, bool inline_run) {
+  if (state->claimed.exchange(true)) return false;
+  Task fn = std::move(state->fn);
+  std::exception_ptr error;
+  try {
+    fn();
+  } catch (...) {
+    error = std::current_exception();
+  }
+  {
+    std::lock_guard<std::mutex> lock(state->m);
+    state->done = true;
+    state->error = error;
+  }
+  state->cv.notify_all();
+  finish_one(inline_run);
+  return true;
+}
+
+void TaskPool::finish_one(bool inline_run) {
+  bool idle = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    --in_flight_;
+    if (inline_run) {
+      ++stats_.tasks_inlined;
+    } else {
+      ++stats_.tasks_executed;
+    }
+    idle = in_flight_ == 0;
+  }
+  if (idle) idle_cv_.notify_all();
+}
+
+}  // namespace aimetro::runtime

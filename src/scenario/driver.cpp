@@ -21,6 +21,7 @@
 #include "llm/specs.h"
 #include "runtime/engine.h"
 #include "runtime/sim_clock.h"
+#include "runtime/task_pool.h"
 #include "trace/generator.h"
 #include "world/world_state.h"
 
@@ -269,6 +270,11 @@ std::string ScenarioReport::summary() const {
       "mean-cluster=%.2f  mean-blockers=%.2f  clusters=%llu\n",
       mean_cluster_size, mean_blockers,
       static_cast<unsigned long long>(clusters_dispatched));
+  if (pool_workers > 0) {
+    out += strformat(
+        "chain-pool  workers=%d  peak-inflight=%llu\n", pool_workers,
+        static_cast<unsigned long long>(peak_inflight_tasks));
+  }
   out += strformat("scoreboard-digest=%016llx\n",
                    static_cast<unsigned long long>(scoreboard_digest));
   if (day_rows.size() > 1) {
@@ -480,6 +486,10 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
     std::uint64_t world_hash = 0;
     core::ScoreboardStats scoreboard;
     double mean_blockers = 0.0;
+    /// Member-chain pool diagnostics (zero for the serial baseline,
+    /// which runs chains inline).
+    std::int32_t pool_workers = 0;
+    std::uint64_t peak_inflight_tasks = 0;
     /// Multi-day runs: elapsed (virtual or wall) seconds when the last
     /// chain belonging to each episode day finished, indexed by day.
     std::vector<double> day_finish;
@@ -541,8 +551,16 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
     // Distinct members' chains are independent, so they run concurrently —
     // matching the DES replay, which submits every member's chain on
     // dispatch. The 1-worker baseline keeps them serial: it models the
-    // original implementation's single global cursor.
+    // original implementation's single global cursor. Parallel runs hand
+    // chains to one persistent per-run TaskPool (created here, before the
+    // timed region starts) instead of constructing and joining a thread
+    // per chain on every dispatch.
     const bool parallel_chains = workers > 1;
+    std::unique_ptr<runtime::TaskPool> chain_pool;
+    if (parallel_chains) {
+      chain_pool = std::make_unique<runtime::TaskPool>(
+          spec_.resolved_pool_workers());
+    }
     auto step_fn = [&, parallel_chains](const core::AgentCluster& cluster,
                                         const world::WorldState& w) {
       const Step abs_step = tr.start_step + cluster.step;
@@ -552,14 +570,14 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
         if (by_step.count(abs_step) != 0) with_calls.push_back(m);
       }
       if (parallel_chains && with_calls.size() > 1) {
-        std::vector<std::thread> threads;
-        threads.reserve(with_calls.size());
+        std::vector<runtime::TaskPool::Task> tasks;
+        tasks.reserve(with_calls.size());
         for (AgentId m : with_calls) {
-          threads.emplace_back([&issue_chain, m, abs_step] {
+          tasks.push_back([&issue_chain, m, abs_step] {
             issue_chain(m, abs_step);
           });
         }
-        for (std::thread& t : threads) t.join();
+        chain_pool->submit_and_wait(std::move(tasks), /*priority=*/abs_step);
       } else {
         for (AgentId m : with_calls) issue_chain(m, abs_step);
       }
@@ -589,6 +607,10 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
     out.stats = engine.run();
     out.completion_seconds = llm_stack.completion_seconds();
     out.calls = llm_stack.calls();
+    if (chain_pool != nullptr) {
+      out.pool_workers = chain_pool->workers();
+      out.peak_inflight_tasks = chain_pool->stats().peak_in_flight;
+    }
     out.day_finish = std::move(day_finish);
     AIM_CHECK(engine.scoreboard().all_done());
     std::vector<std::pair<Step, Pos>> states;
@@ -633,6 +655,8 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
   r.mean_cluster_size = metro.scoreboard.mean_cluster_size();
   r.mean_blockers = metro.mean_blockers;
   r.clusters_dispatched = metro.scoreboard.clusters_dispatched;
+  r.pool_workers = metro.pool_workers;
+  r.peak_inflight_tasks = metro.peak_inflight_tasks;
   r.scoreboard_digest = metro.digest;
   r.world_hash_serial = serial.world_hash;
   r.world_hash_metro = metro.world_hash;
@@ -657,6 +681,7 @@ ScenarioReport ScenarioDriver::run_engine_gym(bool serial_baseline) const {
   cfg.params = core::DependencyParams{spec_.radius_p, spec_.max_vel};
   cfg.target_step = spec_.sim_steps();
   cfg.n_workers = spec_.workers;
+  cfg.pool_workers = spec_.resolved_pool_workers();
 
   // Baseline: lock-step execution (Algorithm 1), same LLM pricing.
   double serial_secs = 0.0;
@@ -701,6 +726,8 @@ ScenarioReport ScenarioDriver::run_engine_gym(bool serial_baseline) const {
           ? static_cast<double>(metro_stats.agent_steps) /
                 static_cast<double>(metro_stats.clusters_executed)
           : 0.0;
+  r.pool_workers = metro.chain_pool().workers();
+  r.peak_inflight_tasks = metro.chain_pool().stats().peak_in_flight;
   r.world_hash_serial = serial_hash;
   r.world_hash_metro = metro.state_hash();
   r.scoreboard_digest = r.world_hash_metro;

@@ -69,6 +69,13 @@ struct ScenarioReport {
   double mean_blockers = 0.0;
   std::uint64_t clusters_dispatched = 0;
 
+  /// Engine backend only: size of the member-chain TaskPool the metropolis
+  /// run executed LLM chains on (spec key `pool_workers`, derived from
+  /// `workers` when unset), and the largest number of chain tasks that
+  /// were in flight at once. 0 / 0 on the DES backend.
+  std::int32_t pool_workers = 0;
+  std::uint64_t peak_inflight_tasks = 0;
+
   /// Order-insensitive hash of the final per-agent (step, position)
   /// scoreboard state. Two backends that executed the same workload to the
   /// same final state produce the same digest.

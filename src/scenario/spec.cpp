@@ -11,6 +11,7 @@
 
 #include "common/strings.h"
 #include "llm/specs.h"
+#include "runtime/task_pool.h"
 #include "trace/behavior.h"
 
 namespace aimetro::scenario {
@@ -186,6 +187,7 @@ const std::vector<Field>& fields() {
       AIM_SPEC_FIELD("data_parallel", data_parallel),
       AIM_SPEC_FIELD("backend", backend),
       AIM_SPEC_FIELD("workers", workers),
+      AIM_SPEC_FIELD("pool_workers", pool_workers),
       AIM_SPEC_FIELD("clock", clock),
       AIM_SPEC_FIELD("time_scale", time_scale),
       AIM_SPEC_FIELD("call_latency_us", call_latency_us),
@@ -240,6 +242,11 @@ std::string ScenarioSpec::to_text() const {
     os << f.key << " = " << f.get(*this) << "\n";
   }
   return os.str();
+}
+
+std::int32_t ScenarioSpec::resolved_pool_workers() const {
+  return pool_workers > 0 ? pool_workers
+                          : runtime::derive_pool_workers(workers);
 }
 
 Step ScenarioSpec::sim_steps() const {
@@ -335,6 +342,9 @@ std::string validate_spec(const ScenarioSpec& spec) {
     return "tensor_parallel and data_parallel must be >= 1";
   }
   if (spec.workers < 1) return "workers must be >= 1";
+  if (spec.pool_workers < 0) {
+    return "pool_workers must be >= 0 (0 derives from workers)";
+  }
   if (spec.time_scale <= 0.0) return "time_scale must be > 0";
   if (spec.call_latency_us < 0) return "call_latency_us must be >= 0";
 

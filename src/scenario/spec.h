@@ -101,6 +101,11 @@ struct ScenarioSpec {
   // ---- Execution ----
   Backend backend = Backend::kDes;
   std::int32_t workers = 4;            // engine backend worker threads
+  /// Worker threads in the engine backend's member-chain TaskPool (the
+  /// per-run pool that executes coupled members' LLM chains). 0 derives
+  /// runtime::derive_pool_workers(workers) = 2 * workers; see
+  /// resolved_pool_workers().
+  std::int32_t pool_workers = 0;
   /// Engine-backend time base (see ClockKind). clock = virtual prices
   /// calls on the spec's model/GPU/parallelism via the DES cost model.
   ClockKind clock = ClockKind::kWall;
@@ -123,6 +128,9 @@ struct ScenarioSpec {
   }
   /// Window start in absolute steps (0 when running the full day).
   Step window_start() const { return window_begin >= 0 ? window_begin : 0; }
+  /// Member-chain pool size the engine backend actually uses:
+  /// `pool_workers` when set, else derived from `workers`.
+  std::int32_t resolved_pool_workers() const;
 };
 
 struct SpecParseResult {

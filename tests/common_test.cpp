@@ -1,8 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <thread>
+#include <vector>
 
 #include "common/check.h"
 #include "common/rng.h"
@@ -254,6 +256,38 @@ TEST(SyncPriorityQueue, ConcurrentProducersConsumeAll) {
   EXPECT_EQ(consumed.load(), 4 * kPerProducer);
 }
 
+TEST(SyncPriorityQueue, CloseWithBacklogDrainsBeforeNullopt) {
+  // close() must not discard queued work: pops after close still drain
+  // the backlog (in priority order), and only then return nullopt. The
+  // TaskPool's drain-on-shutdown guarantee is built on this.
+  SyncPriorityQueue<int, int> q;
+  q.push(2, 20);
+  q.push(1, 10);
+  q.close();
+  EXPECT_EQ(q.pop().value(), 10);
+  EXPECT_EQ(q.pop().value(), 20);
+  EXPECT_FALSE(q.pop().has_value());
+  EXPECT_TRUE(q.closed());
+}
+
+TEST(SyncPriorityQueue, CloseWakesManyConsumersBlockedInPop) {
+  // Several consumers blocked inside pop() on an *empty* queue: close()
+  // must wake every one of them with nullopt, not just the first.
+  SyncPriorityQueue<int, int> q;
+  std::atomic<int> woke_empty{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 4; ++c) {
+    consumers.emplace_back([&] {
+      if (!q.pop().has_value()) woke_empty.fetch_add(1);
+    });
+  }
+  // Give the consumers a moment to actually block in pop().
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(woke_empty.load(), 4);
+}
+
 TEST(SyncQueue, FifoAndClose) {
   SyncQueue<int> q;
   q.push(1);
@@ -262,6 +296,26 @@ TEST(SyncQueue, FifoAndClose) {
   EXPECT_EQ(q.pop().value(), 2);
   q.close();
   EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(SyncQueue, CloseWakesBlockedConsumersAndDrainsBacklog) {
+  SyncQueue<int> q;
+  std::atomic<int> consumed{0};
+  std::atomic<int> finished{0};
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c) {
+    consumers.emplace_back([&] {
+      while (q.pop().has_value()) consumed.fetch_add(1);
+      finished.fetch_add(1);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.push(1);
+  q.push(2);
+  q.close();  // wakes blocked consumers; backlog is still delivered
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(consumed.load(), 2);
+  EXPECT_EQ(finished.load(), 3);
 }
 
 }  // namespace

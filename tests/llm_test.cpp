@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <thread>
 #include <vector>
 
@@ -314,6 +315,100 @@ TEST(FakeClient, DeterministicAndThreadSafe) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(client.calls(), 403u);  // 3 sequential + 4 threads x 100
+}
+
+// ---- DecodeTimeline: event-driven per-iteration decode pricing ----
+
+TEST(DecodeTimeline, SoloRequestDecodesAtBatchOne) {
+  const CostModel cm(ModelSpec::llama3_8b(), GpuSpec::l4(), 1);
+  DecodeTimeline tl(&cm);
+  const SimTime dt = cm.iteration_time(1, 0, 54);
+  const std::uint64_t id = tl.admit(/*join=*/1000, /*output_tokens=*/4,
+                                    /*kv_footprint=*/54);
+  EXPECT_EQ(tl.predict_finish(id), 1000 + 4 * dt);
+  tl.advance(1000 + 4 * dt - 1);
+  EXPECT_FALSE(tl.finished(id));  // the last iteration has not completed
+  tl.advance(1000 + 4 * dt);
+  ASSERT_TRUE(tl.finished(id));
+  EXPECT_EQ(tl.take_finish(id), 1000 + 4 * dt);
+  EXPECT_EQ(tl.peak_batch(), 1);
+  EXPECT_EQ(tl.active(), 0);
+}
+
+TEST(DecodeTimeline, LateArrivalRepricesSharedIterations) {
+  // THE behaviour the admission-time model got wrong: a request admitted
+  // alone must slow down for exactly the iterations it later shares.
+  const CostModel cm(ModelSpec::llama3_8b(), GpuSpec::l4(), 1);
+  DecodeTimeline tl(&cm);
+  const std::int64_t kv_a = 500, kv_b = 300;
+  const SimTime dt1 = cm.iteration_time(1, 0, kv_a);
+  const SimTime dt2 = cm.iteration_time(2, 0, kv_a + kv_b);
+  const SimTime dt1_after = cm.iteration_time(1, 0, kv_a);
+  const std::uint64_t a = tl.admit(0, 10, kv_a);
+  // B joins exactly at A's second iteration boundary.
+  const std::uint64_t b = tl.admit(2 * dt1, 5, kv_b);
+  // A decodes 2 tokens alone, shares 5 iterations with B, then finishes
+  // its last 3 alone again; B's 5 iterations are all shared.
+  EXPECT_EQ(tl.predict_finish(b), 2 * dt1 + 5 * dt2);
+  EXPECT_EQ(tl.predict_finish(a), 2 * dt1 + 5 * dt2 + 3 * dt1_after);
+  tl.advance(2 * dt1 + 5 * dt2 + 3 * dt1_after);
+  EXPECT_EQ(tl.take_finish(b), 2 * dt1 + 5 * dt2);
+  EXPECT_EQ(tl.take_finish(a), 2 * dt1 + 5 * dt2 + 3 * dt1_after);
+  EXPECT_EQ(tl.peak_batch(), 2);
+}
+
+TEST(DecodeTimeline, MidIterationJoinWaitsForTheNextBoundary) {
+  // Admission happens at iteration boundaries, as in the DES replica: a
+  // request joining mid-iteration starts with the next one.
+  const CostModel cm(ModelSpec::llama3_8b(), GpuSpec::l4(), 1);
+  DecodeTimeline tl(&cm);
+  const std::int64_t kv_a = 400, kv_b = 200;
+  const SimTime dt1 = cm.iteration_time(1, 0, kv_a);
+  const SimTime dt2 = cm.iteration_time(2, 0, kv_a + kv_b);
+  const std::uint64_t a = tl.admit(0, 6, kv_a);
+  const std::uint64_t b = tl.admit(2 * dt1 + 1, 2, kv_b);  // just past it
+  EXPECT_EQ(tl.predict_finish(b), 3 * dt1 + 2 * dt2);
+  EXPECT_EQ(tl.predict_finish(a), 3 * dt1 + 2 * dt2 + dt1);
+  tl.advance(kSimTimeMax / 2);
+  EXPECT_EQ(tl.take_finish(b), 3 * dt1 + 2 * dt2);
+  EXPECT_EQ(tl.take_finish(a), 3 * dt1 + 2 * dt2 + dt1);
+}
+
+TEST(DecodeTimeline, IdleGapRestartsIterationsAtTheNextJoin) {
+  const CostModel cm(ModelSpec::llama3_8b(), GpuSpec::l4(), 1);
+  DecodeTimeline tl(&cm);
+  const SimTime dt = cm.iteration_time(1, 0, 100);
+  const std::uint64_t a = tl.admit(0, 2, 100);
+  tl.advance(5 * dt);
+  EXPECT_EQ(tl.take_finish(a), 2 * dt);
+  // A later request must not inherit stale iteration boundaries from the
+  // idle gap: its decode starts at its own join time.
+  const std::uint64_t b = tl.admit(10 * dt, 3, 100);
+  EXPECT_EQ(tl.predict_finish(b), 10 * dt + 3 * dt);
+  tl.advance(20 * dt);
+  EXPECT_EQ(tl.take_finish(b), 13 * dt);
+}
+
+TEST(DecodeTimeline, PredictedFinishesCoverEveryUnreapedRequest) {
+  const CostModel cm(ModelSpec::llama3_8b(), GpuSpec::l4(), 1);
+  DecodeTimeline tl(&cm);
+  const SimTime dt = cm.iteration_time(1, 0, 50);
+  const std::uint64_t a = tl.admit(0, 1, 50);
+  tl.advance(dt);  // a finished but not reaped
+  ASSERT_TRUE(tl.finished(a));
+  // Three overlapping actives: the single-pass replay must produce the
+  // same finish for each as the per-request prediction.
+  const std::uint64_t b = tl.admit(2 * dt, 4, 50);
+  const std::uint64_t c = tl.admit(2 * dt, 7, 80);
+  const std::uint64_t d = tl.admit(3 * dt, 2, 60);
+  auto finishes = tl.predicted_finishes();
+  ASSERT_EQ(finishes.size(), 4u);  // one exact + three predicted
+  std::sort(finishes.begin(), finishes.end());
+  std::vector<SimTime> expected = {dt, tl.predict_finish(b),
+                                   tl.predict_finish(c),
+                                   tl.predict_finish(d)};
+  std::sort(expected.begin(), expected.end());
+  EXPECT_EQ(finishes, expected);
 }
 
 // ---- CostModelLlmClient: cost-model latencies on a virtual clock ----

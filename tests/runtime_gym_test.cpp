@@ -1,10 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <shared_mutex>
+#include <stdexcept>
 
+#include "common/check.h"
 #include "gym/agents.h"
 #include "gym/env.h"
 #include "llm/client.h"
+#include "runtime/task_pool.h"
 #include "world/grid_map.h"
 
 namespace aimetro::gym {
@@ -103,6 +108,129 @@ TEST(OooEquivalence, CrowdedWorldWithConflicts) {
 
   EXPECT_EQ(lockstep.state_hash(), ooo.state_hash());
   EXPECT_GT(lockstep.world().event_count(), 0u);  // greetings happened
+}
+
+TEST(OooEquivalence, CoupledMembersRunThroughTheChainPool) {
+  // Adjacent agents form multi-member clusters every step, so member
+  // chains go through the Env's TaskPool. A deliberately tiny pool (1
+  // chain worker for up to 8 coupled members, under 4 engine workers)
+  // forces the inline-claiming path; the outcome must not change, and
+  // chains must actually have flowed through the pool.
+  world::GridMap map(14, 14);
+  map.add_object("fountain", Tile{7, 7});
+  std::vector<Tile> starts;
+  for (int i = 0; i < 8; ++i) starts.push_back(Tile{5 + i % 4, 6 + i / 4});
+
+  llm::FakeLlmClient llm_lockstep(21, 0);
+  EnvConfig lockstep_cfg = env_config(/*ooo=*/false, 50);
+  lockstep_cfg.pool_workers = 1;
+  Env lockstep(&map, starts, wanderers(8, 21), &llm_lockstep, lockstep_cfg);
+  lockstep.run();
+
+  llm::FakeLlmClient llm_ooo(21, 120);
+  EnvConfig ooo_cfg = env_config(/*ooo=*/true, 50);
+  ooo_cfg.pool_workers = 1;
+  Env ooo(&map, starts, wanderers(8, 21), &llm_ooo, ooo_cfg);
+  ooo.run();
+
+  EXPECT_EQ(lockstep.state_hash(), ooo.state_hash());
+  const auto stats = ooo.chain_pool().stats();
+  EXPECT_GT(stats.tasks_executed + stats.tasks_inlined, 0u);
+  EXPECT_GT(stats.tasks_inlined, 0u);  // the 1-worker pool needed help
+  EXPECT_EQ(ooo.chain_pool().workers(), 1);
+}
+
+TEST(Runtime, EngineRunsOnAnExternalTaskPool) {
+  // Two consecutive engine runs share one externally-owned pool — the
+  // multi-pool extension point EngineConfig::pool exists for. Outcomes
+  // must match a private-pool run.
+  const auto map = arena_map();
+  runtime::TaskPool shared(3);
+  std::uint64_t hashes[2];
+  for (int run = 0; run < 2; ++run) {
+    llm::FakeLlmClient llm(5, 50);
+    world::WorldState world(&map, spread_starts(6));
+    runtime::EngineConfig cfg;
+    cfg.params = core::DependencyParams{4.0, 1.0};
+    cfg.target_step = 30;
+    cfg.n_workers = 3;
+    cfg.kv_instrumentation = false;
+    cfg.pool = &shared;
+    std::vector<std::unique_ptr<Agent>> agents = wanderers(6, 5);
+    auto step_fn = [&](const core::AgentCluster& cluster,
+                       const world::WorldState& w) {
+      std::vector<world::StepIntent> intents;
+      for (AgentId m : cluster.members) {
+        Observation obs;
+        obs.self = m;
+        obs.step = cluster.step;
+        {
+          std::shared_lock<std::shared_mutex> lock(w.mutex());
+          obs.position = w.tile_of(m);
+        }
+        obs.map = &map;
+        world::StepIntent intent =
+            agents[static_cast<std::size_t>(m)]->proceed(obs, llm);
+        intent.agent = m;
+        intents.push_back(intent);
+      }
+      return intents;
+    };
+    runtime::Engine engine(&world, cfg, step_fn);
+    const auto stats = engine.run();
+    EXPECT_EQ(stats.agent_steps, 6u * 30u);
+    hashes[run] = world.state_hash();
+  }
+  EXPECT_EQ(hashes[0], hashes[1]);
+  EXPECT_GT(shared.stats().tasks_executed, 0u);
+}
+
+TEST(Runtime, EngineRefusesBoundedExternalPools) {
+  // Dispatch happens under the engine lock; a bounded pool's
+  // backpressure could deadlock the dispatcher against its own workers,
+  // so the engine must reject bounded pools loudly at construction.
+  const auto map = arena_map();
+  world::WorldState world(&map, spread_starts(4));
+  runtime::TaskPoolConfig pool_cfg;
+  pool_cfg.n_workers = 2;
+  pool_cfg.max_queued = 1;
+  runtime::TaskPool bounded(pool_cfg);
+  runtime::EngineConfig cfg;
+  cfg.params = core::DependencyParams{4.0, 1.0};
+  cfg.pool = &bounded;
+  auto step_fn = [](const core::AgentCluster&, const world::WorldState&) {
+    return std::vector<world::StepIntent>{};
+  };
+  EXPECT_THROW(runtime::Engine(&world, cfg, step_fn), CheckError);
+}
+
+TEST(Runtime, StepFnExceptionPropagatesOutOfRun) {
+  // A throwing StepFn used to terminate() the process from a worker
+  // thread; the pool captures it and run() rethrows after draining.
+  const auto map = arena_map();
+  world::WorldState world(&map, spread_starts(4));
+  runtime::EngineConfig cfg;
+  cfg.params = core::DependencyParams{4.0, 1.0};
+  cfg.target_step = 20;
+  cfg.n_workers = 2;
+  cfg.kv_instrumentation = false;
+  std::atomic<int> calls{0};
+  runtime::Engine engine(
+      &world, cfg,
+      [&](const core::AgentCluster& cluster,
+          const world::WorldState&) -> std::vector<world::StepIntent> {
+        if (calls.fetch_add(1) == 5) {
+          throw std::runtime_error("agent exploded");
+        }
+        std::vector<world::StepIntent> intents;
+        for (AgentId m : cluster.members) {
+          world::StepIntent intent;
+          intent.agent = m;
+          intents.push_back(intent);
+        }
+        return intents;
+      });
+  EXPECT_THROW(engine.run(), std::runtime_error);
 }
 
 TEST(Runtime, PatrolAgentsMeetDeterministically) {

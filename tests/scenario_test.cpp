@@ -11,6 +11,7 @@
 
 #include "common/check.h"
 #include "llm/specs.h"
+#include "runtime/task_pool.h"
 #include "scenario/driver.h"
 #include "scenario/registry.h"
 #include "scenario/spec.h"
@@ -219,6 +220,31 @@ TEST(SpecValidate, CatchesStructuralErrors) {
   const std::string err = validate_spec(spec);
   EXPECT_NE(err.find("unknown behavior profile"), std::string::npos);
   EXPECT_NE(err.find("townsfolk"), std::string::npos);  // lists knowns
+}
+
+TEST(SpecValidate, PoolWorkersValidatesAndDerives) {
+  ScenarioSpec spec;
+  EXPECT_EQ(validate_spec(spec), "");
+  // 0 (the default) derives from `workers`.
+  EXPECT_EQ(spec.pool_workers, 0);
+  EXPECT_EQ(spec.resolved_pool_workers(),
+            runtime::derive_pool_workers(spec.workers));
+  spec.workers = 3;
+  EXPECT_EQ(spec.resolved_pool_workers(), 6);
+  spec.pool_workers = 5;  // explicit values win
+  EXPECT_EQ(spec.resolved_pool_workers(), 5);
+  EXPECT_EQ(validate_spec(spec), "");
+  spec.pool_workers = -1;
+  EXPECT_NE(validate_spec(spec), "");
+
+  // The key parses, round-trips, and typos suggest it.
+  const auto parsed = parse_spec_text("pool_workers = 12\n");
+  ASSERT_TRUE(parsed) << parsed.error;
+  EXPECT_EQ(parsed.spec->pool_workers, 12);
+  ScenarioSpec target;
+  std::string error;
+  EXPECT_FALSE(apply_override(&target, "pool_worker=4", &error));
+  EXPECT_NE(error.find("did you mean 'pool_workers'?"), std::string::npos);
 }
 
 TEST(SpecValidate, DaysAndPopulation) {
@@ -756,6 +782,33 @@ TEST(Report, SummaryOmitsBaselineWhenSerialSkipped) {
   EXPECT_EQ(without.summary().find("baseline"), std::string::npos);
   EXPECT_EQ(without.summary().find("vs serial"), std::string::npos);
   EXPECT_NE(without.summary().find("vs sync"), std::string::npos);
+}
+
+TEST(Report, EngineRunsSurfaceChainPoolDiagnostics) {
+  std::string error;
+  auto spec = find_scenario("smallville_day", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  spec->window_begin = 4320;
+  spec->window_end = 4350;
+  spec->call_latency_us = 20;
+
+  // DES has no chain pool; its summary must not show one.
+  const auto des = ScenarioDriver(*spec).run(/*serial_baseline=*/false);
+  EXPECT_EQ(des.pool_workers, 0);
+  EXPECT_EQ(des.summary().find("chain-pool"), std::string::npos);
+
+  // The engine backend reports the per-run pool size (derived: 2x
+  // workers) and the in-flight high-water mark.
+  spec->backend = Backend::kEngine;
+  const auto engine = ScenarioDriver(*spec).run(/*serial_baseline=*/false);
+  EXPECT_EQ(engine.pool_workers, spec->resolved_pool_workers());
+  EXPECT_GE(engine.peak_inflight_tasks, 1u);
+  EXPECT_NE(engine.summary().find("chain-pool"), std::string::npos);
+
+  // An explicit pool_workers override is what the run actually uses.
+  spec->pool_workers = 3;
+  const auto sized = ScenarioDriver(*spec).run(/*serial_baseline=*/false);
+  EXPECT_EQ(sized.pool_workers, 3);
 }
 
 // ---- The virtual-time engine clock ----
