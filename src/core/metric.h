@@ -22,6 +22,14 @@ class Metric {
   virtual ~Metric() = default;
   virtual double distance(const Pos& a, const Pos& b) const = 0;
   virtual std::string name() const = 0;
+
+  /// True when distance(a, b) >= chebyshev(a, b) for every pair, i.e. a
+  /// Chebyshev box of radius r around `a` is a superset of the metric
+  /// ball of radius r. This is the property that lets the scoreboard
+  /// answer "who is within r of a" with a world::SpatialIndex box probe;
+  /// metrics without it (GraphMetric: positions encode node ids, not
+  /// coordinates) fall back to the full scan.
+  virtual bool lower_bounded_by_chebyshev() const { return false; }
 };
 
 class EuclideanMetric final : public Metric {
@@ -30,6 +38,7 @@ class EuclideanMetric final : public Metric {
     return euclidean(a, b);
   }
   std::string name() const override { return "euclidean"; }
+  bool lower_bounded_by_chebyshev() const override { return true; }
 };
 
 class ManhattanMetric final : public Metric {
@@ -38,6 +47,7 @@ class ManhattanMetric final : public Metric {
     return manhattan(a, b);
   }
   std::string name() const override { return "manhattan"; }
+  bool lower_bounded_by_chebyshev() const override { return true; }
 };
 
 class ChebyshevMetric final : public Metric {
@@ -46,6 +56,7 @@ class ChebyshevMetric final : public Metric {
     return chebyshev(a, b);
   }
   std::string name() const override { return "chebyshev"; }
+  bool lower_bounded_by_chebyshev() const override { return true; }
 };
 
 /// Hop-count metric over a fixed undirected graph (e.g. a social network).

@@ -7,13 +7,35 @@
 
 namespace aimetro::core {
 
+namespace {
+
+/// Cell size for the live-agent index: coupling-radius cells keep the
+/// common probes (coupling, small-lag blocking) within a 3x3 cell box
+/// while staying coarse enough that buckets aren't degenerate.
+double index_cell_size(const DependencyParams& params) {
+  return std::max(1.0, params.coupling_radius());
+}
+
+}  // namespace
+
 Scoreboard::Scoreboard(DependencyParams params,
                        std::shared_ptr<const Metric> metric,
-                       std::vector<Pos> initial_positions, Step target_step)
-    : params_(params), metric_(std::move(metric)), target_step_(target_step) {
+                       std::vector<Pos> initial_positions, Step target_step,
+                       ScanMode mode)
+    : params_(params),
+      metric_(std::move(metric)),
+      target_step_(target_step),
+      mode_(mode),
+      live_index_(index_cell_size(params)) {
   AIM_CHECK(metric_ != nullptr);
   AIM_CHECK(target_step_ >= 0);
   AIM_CHECK(!initial_positions.empty());
+#ifdef AIMETRO_SCOREBOARD_NO_BRUTE
+  AIM_CHECK_MSG(mode_ != ScanMode::kBruteForce,
+                "brute-force reference path compiled out "
+                "(AIMETRO_SCOREBOARD_NO_BRUTE)");
+#endif
+  indexable_ = metric_->lower_bounded_by_chebyshev();
   agents_.resize(initial_positions.size());
   for (std::size_t i = 0; i < agents_.size(); ++i) {
     agents_[i].pos = initial_positions[i];
@@ -23,28 +45,49 @@ Scoreboard::Scoreboard(DependencyParams params,
     }
   }
   if (target_step_ == 0) return;
+  live_steps_[0] = static_cast<std::int32_t>(agents_.size());
+  if (use_index()) {
+    std::vector<std::pair<AgentId, Pos>> items;
+    items.reserve(agents_.size());
+    for (std::size_t i = 0; i < agents_.size(); ++i) {
+      items.emplace_back(static_cast<AgentId>(i), agents_[i].pos);
+    }
+    live_index_.bulk_insert(items);
+  }
   // Initial edges and clustering: everyone idle at step 0, so there are no
-  // blockers (no lower step, nobody running); only coupling applies.
+  // blockers (no lower step, nobody running); only coupling applies. The
+  // flood-fill expands each component through coupling-radius box probes
+  // (indexed) or full scans (brute) — the components, and therefore the
+  // cluster ids assigned in ascending-smallest-member order, are identical
+  // either way.
   for (std::size_t i = 0; i < agents_.size(); ++i) {
     idle_by_step_[0].insert(static_cast<AgentId>(i));
   }
   for (std::size_t i = 0; i < agents_.size(); ++i) {
     if (agents_[i].cluster >= 0) continue;
     const std::int64_t cid = new_cluster(0);
-    // Flood-fill the coupled component.
     std::vector<AgentId> frontier{static_cast<AgentId>(i)};
     agents_[i].cluster = cid;
     while (!frontier.empty()) {
       const AgentId u = frontier.back();
       frontier.pop_back();
       clusters_[cid].members.push_back(u);
-      for (std::size_t j = 0; j < agents_.size(); ++j) {
-        const auto v = static_cast<AgentId>(j);
-        if (agents_[j].cluster >= 0) continue;
-        if (coupled(metric_->distance(agent(u).pos, agents_[j].pos), 0, 0,
+      auto consider = [&](AgentId v) {
+        AgentNode& node = agent(v);
+        if (node.cluster >= 0) return;
+        if (coupled(metric_->distance(agent(u).pos, node.pos), 0, 0,
                     params_)) {
-          agents_[j].cluster = cid;
+          node.cluster = cid;
           frontier.push_back(v);
+        }
+      };
+      if (use_index()) {
+        live_index_.query_box_into(agent(u).pos, params_.coupling_radius(),
+                                   &probe_buf_);
+        for (AgentId v : probe_buf_) consider(v);
+      } else {
+        for (std::size_t j = 0; j < agents_.size(); ++j) {
+          consider(static_cast<AgentId>(j));
         }
       }
     }
@@ -61,6 +104,17 @@ Scoreboard::AgentNode& Scoreboard::agent(AgentId id) {
 const Scoreboard::AgentNode& Scoreboard::agent(AgentId id) const {
   AIM_CHECK(id >= 0 && static_cast<std::size_t>(id) < agents_.size());
   return agents_[static_cast<std::size_t>(id)];
+}
+
+Step Scoreboard::min_live_step() const {
+  return live_steps_.empty() ? target_step_ : live_steps_.begin()->first;
+}
+
+void Scoreboard::live_step_advance(Step from, Step to, bool now_done) {
+  auto it = live_steps_.find(from);
+  AIM_CHECK(it != live_steps_.end() && it->second > 0);
+  if (--it->second == 0) live_steps_.erase(it);
+  if (!now_done) ++live_steps_[to];
 }
 
 std::int64_t Scoreboard::new_cluster(Step step) {
@@ -98,25 +152,41 @@ void Scoreboard::remove_edge(AgentId blocker, AgentId blocked) {
 
 void Scoreboard::recompute_blockers(AgentId id) {
   AgentNode& node = agent(id);
-  // Drop all existing incoming edges, then rebuild from a full scan. The
-  // scan is O(n) with cheap per-pair math; commits are the only writers so
-  // total work stays modest even at 1000 agents (see DESIGN.md).
+  // Drop all existing incoming edges, then rebuild. Indexed mode probes a
+  // Chebyshev box of the largest radius any live agent could block from:
+  // blocking_radius(own step - min live step). Any blocker B at lag L
+  // satisfies dist <= blocking_radius(L) <= blocking_radius(max lag), and
+  // every such metric ball is inside the box (metric >= chebyshev), so
+  // the probe is a superset of the brute-force candidate set. Candidates
+  // arrive sorted by id — the same order the full scan visits them — so
+  // edge bookkeeping is byte-identical (see docs/ARCHITECTURE.md,
+  // "Dependency core").
   const std::vector<AgentId> previous(node.blocked_by.begin(),
                                       node.blocked_by.end());
   for (AgentId b : previous) remove_edge(b, id);
 
   if (node.status == AgentStatus::kDone) return;
   std::uint64_t found = 0;
-  for (std::size_t j = 0; j < agents_.size(); ++j) {
-    const auto b = static_cast<AgentId>(j);
-    if (b == id) continue;
-    const AgentNode& other = agents_[j];
-    if (other.status == AgentStatus::kDone) continue;
+  auto consider = [&](AgentId b) {
+    if (b == id) return;
+    const AgentNode& other = agent(b);
+    if (other.status == AgentStatus::kDone) return;
     const double dist = metric_->distance(node.pos, other.pos);
     if (blocks(dist, node.step, other.step,
                other.status == AgentStatus::kRunning, params_)) {
       add_edge(b, id);
       ++found;
+    }
+  };
+  if (use_index()) {
+    const Step max_lag = node.step - min_live_step();
+    AIM_CHECK(max_lag >= 0);
+    live_index_.query_box_into(node.pos, params_.blocking_radius(max_lag),
+                               &probe_buf_);
+    for (AgentId b : probe_buf_) consider(b);
+  } else {
+    for (std::size_t j = 0; j < agents_.size(); ++j) {
+      consider(static_cast<AgentId>(j));
     }
   }
   ++blocker_samples_;
@@ -142,17 +212,29 @@ void Scoreboard::cluster_in(AgentId id) {
   idle_by_step_[node.step].insert(id);
 
   // Find idle same-step agents within the coupling radius; `id` may bridge
-  // several existing clusters into one.
+  // several existing clusters into one. Indexed mode probes a
+  // coupling-radius box and filters to idle same-step agents — the same
+  // candidates the brute path reads out of idle_by_step_.
   std::set<std::int64_t> neighbors_clusters;
-  auto it = idle_by_step_.find(node.step);
-  for (AgentId other : it->second) {
-    if (other == id) continue;
+  auto consider = [&](AgentId other) {
+    if (other == id) return;
     const AgentNode& o = agent(other);
+    // Mid-commit, sibling members can already be idle but not yet
+    // clustered (their own cluster_in hasn't run; they are not in
+    // idle_by_step_ yet). Skip them — they will see us when they cluster
+    // in — so both scan modes read the same candidate set.
+    if (o.status != AgentStatus::kIdle || o.cluster < 0) return;
     if (coupled(metric_->distance(node.pos, o.pos), node.step, o.step,
                 params_)) {
-      AIM_CHECK(o.cluster >= 0);
       neighbors_clusters.insert(o.cluster);
     }
+  };
+  if (use_index()) {
+    live_index_.query_box_into(node.pos, params_.coupling_radius(),
+                               &probe_buf_);
+    for (AgentId other : probe_buf_) consider(other);
+  } else {
+    for (AgentId other : idle_by_step_.at(node.step)) consider(other);
   }
 
   std::int64_t home;
@@ -229,7 +311,7 @@ std::vector<AgentCluster> Scoreboard::pop_ready_clusters() {
 void Scoreboard::commit(const std::vector<std::pair<AgentId, Pos>>& moves) {
   AIM_CHECK(!moves.empty());
   ++stats_.commits;
-  // Phase 1: advance state.
+  // Phase 1: advance state (agent table, live-step counts, live index).
   for (const auto& [id, pos] : moves) {
     AgentNode& node = agent(id);
     AIM_CHECK_MSG(node.status == AgentStatus::kRunning,
@@ -241,11 +323,15 @@ void Scoreboard::commit(const std::vector<std::pair<AgentId, Pos>>& moves) {
     node.step += 1;
     AIM_CHECK(node.step <= target_step_);
     --running_count_;
-    if (node.step == target_step_) {
+    const bool now_done = node.step == target_step_;
+    live_step_advance(node.step - 1, node.step, now_done);
+    if (now_done) {
       node.status = AgentStatus::kDone;
       ++done_count_;
+      if (use_index()) live_index_.remove(id);
     } else {
       node.status = AgentStatus::kIdle;
+      if (use_index()) live_index_.update(id, pos);
     }
   }
   // Phase 2: re-examine relationships. Outgoing edges of committed agents
@@ -282,11 +368,7 @@ std::vector<AgentId> Scoreboard::cluster_of(AgentId id) const {
   return clusters_.at(node.cluster).members;
 }
 
-Step Scoreboard::min_step() const {
-  Step m = target_step_;
-  for (const AgentNode& a : agents_) m = std::min(m, a.step);
-  return m;
-}
+Step Scoreboard::min_step() const { return min_live_step(); }
 
 double Scoreboard::mean_blockers() const {
   return blocker_samples_
@@ -337,6 +419,24 @@ void Scoreboard::check_invariants() const {
                   "cluster blocked-count drift: " << blocked << " vs "
                                                   << rec.blocked_members);
   }
+  // Live-step counts and the spatial index must mirror the agent table.
+  std::map<Step, std::int32_t> expected_live;
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < agents_.size(); ++i) {
+    const AgentNode& node = agents_[i];
+    if (node.status == AgentStatus::kDone) continue;
+    ++live;
+    ++expected_live[node.step];
+    if (use_index()) {
+      const auto id = static_cast<AgentId>(i);
+      AIM_CHECK_MSG(live_index_.contains(id),
+                    "live agent " << id << " missing from the index");
+      AIM_CHECK_MSG(live_index_.position(id) == node.pos,
+                    "index position drift for agent " << id);
+    }
+  }
+  AIM_CHECK_MSG(expected_live == live_steps_, "live-step count drift");
+  if (use_index()) AIM_CHECK(live_index_.size() == live);
 }
 
 std::string Scoreboard::to_dot() const {

@@ -17,6 +17,14 @@
 // Progress guarantee: agents at the globally smallest step can only be
 // blocked by running same-step agents, so some cluster is always
 // dispatchable until every agent reaches `target_step`.
+//
+// Internally the scoreboard keeps every live (non-done) agent in a
+// world::SpatialIndex, so blocker recomputation and idle clustering are
+// local box probes rather than full scans — see "Dependency core" in
+// docs/ARCHITECTURE.md for the index structure and the radius math. A
+// brute-force full-scan reference path is retained for differential
+// testing (ScanMode::kBruteForce); define AIMETRO_SCOREBOARD_NO_BRUTE to
+// compile it out.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +39,7 @@
 #include "common/types.h"
 #include "core/dependency_rules.h"
 #include "core/metric.h"
+#include "world/spatial_index.h"
 
 namespace aimetro::core {
 
@@ -41,6 +50,17 @@ struct AgentCluster {
 };
 
 enum class AgentStatus : std::uint8_t { kIdle, kRunning, kDone };
+
+/// How the scoreboard finds "relevant" agents when recomputing edges and
+/// clusters.
+///  - kIndexed: spatial-index box probes bounded by the live lag spread
+///    (near-O(1) per commit at the paper's sparsity). Metrics without the
+///    Chebyshev lower bound (GraphMetric) silently fall back to full
+///    scans — results are identical either way.
+///  - kBruteForce: the historical O(n) full scan; the reference
+///    implementation for differential tests and benchmarks. Compiled out
+///    when AIMETRO_SCOREBOARD_NO_BRUTE is defined.
+enum class ScanMode : std::uint8_t { kIndexed, kBruteForce };
 
 struct ScoreboardStats {
   std::uint64_t clusters_dispatched = 0;
@@ -61,7 +81,8 @@ class Scoreboard {
   /// Agents start idle at step 0 at `initial_positions`; the simulation
   /// finishes when every agent has committed `target_step` steps.
   Scoreboard(DependencyParams params, std::shared_ptr<const Metric> metric,
-             std::vector<Pos> initial_positions, Step target_step);
+             std::vector<Pos> initial_positions, Step target_step,
+             ScanMode mode = ScanMode::kIndexed);
 
   // ---- Controller side ----
   /// All clusters that are ready right now (every member idle and
@@ -77,6 +98,7 @@ class Scoreboard {
   // ---- Introspection ----
   std::size_t agent_count() const { return agents_.size(); }
   Step target_step() const { return target_step_; }
+  ScanMode scan_mode() const { return mode_; }
   bool all_done() const { return done_count_ == agents_.size(); }
   Step step_of(AgentId id) const { return agent(id).step; }
   Pos pos_of(AgentId id) const { return agent(id).pos; }
@@ -86,6 +108,8 @@ class Scoreboard {
   std::vector<AgentId> blockers_of(AgentId id) const;
   /// Members of the idle cluster containing `id` (empty if not idle).
   std::vector<AgentId> cluster_of(AgentId id) const;
+  /// Smallest step any agent is still about to execute (target_step once
+  /// everyone is done). O(1): maintained incrementally from commits.
   Step min_step() const;
   const ScoreboardStats& stats() const { return stats_; }
 
@@ -94,8 +118,9 @@ class Scoreboard {
   double mean_blockers() const;
 
   /// Throws CheckError if the Appendix A validity condition is violated
-  /// for any agent pair, or if internal edge/cluster bookkeeping is
-  /// inconsistent. O(n^2); meant for tests.
+  /// for any agent pair, if internal edge/cluster bookkeeping is
+  /// inconsistent, or if the spatial index / live-step bookkeeping has
+  /// drifted from the agent table. O(n^2); meant for tests.
   void check_invariants() const;
 
   /// Graphviz dot rendering of the current graph (Figure 3 style).
@@ -120,9 +145,16 @@ class Scoreboard {
   AgentNode& agent(AgentId id);
   const AgentNode& agent(AgentId id) const;
 
+  bool use_index() const { return mode_ == ScanMode::kIndexed && indexable_; }
+  /// Smallest step among live (non-done) agents; target_step when all
+  /// done. The tight bound for the blocking-radius box probe.
+  Step min_live_step() const;
+  void live_step_advance(Step from, Step to, bool now_done);
+
   void add_edge(AgentId blocker, AgentId blocked);
   void remove_edge(AgentId blocker, AgentId blocked);
-  /// Recompute blocked_by for `id` from scratch (brute-force scan).
+  /// Recompute blocked_by for `id` from scratch: a blocking_radius(max
+  /// live lag) box probe in indexed mode, a full scan otherwise.
   void recompute_blockers(AgentId id);
   /// Re-check the agents `id` currently blocks; drop stale edges.
   void refresh_outgoing(AgentId id);
@@ -135,12 +167,23 @@ class Scoreboard {
   DependencyParams params_;
   std::shared_ptr<const Metric> metric_;
   Step target_step_;
+  ScanMode mode_;
+  bool indexable_ = false;  // metric admits box-superset probes
   std::vector<AgentNode> agents_;
   std::map<std::int64_t, ClusterRec> clusters_;
   /// Clusters touched since the last pop (candidates for readiness).
   std::set<std::int64_t> dirty_clusters_;
-  /// Idle agents bucketed by step (coupling candidates).
+  /// Idle agents bucketed by step (coupling candidates for the
+  /// brute-force path; pop bookkeeping either way).
   std::map<Step, std::set<AgentId>> idle_by_step_;
+  /// Live (non-done) agents keyed by position — the probe structure for
+  /// recompute_blockers / cluster_in. Maintained only when use_index().
+  world::SpatialIndex live_index_;
+  /// Live agents per step; begin() is min_live_step. Maintained in every
+  /// mode: min_step() and the radius bound read it.
+  std::map<Step, std::int32_t> live_steps_;
+  /// Reusable candidate buffer so steady-state probes allocate nothing.
+  std::vector<AgentId> probe_buf_;
   std::int64_t next_cluster_id_ = 0;
   std::size_t done_count_ = 0;
   std::size_t running_count_ = 0;

@@ -86,6 +86,7 @@ runtime::EngineStats Env::run() {
     ec.params = config_.params;
     ec.target_step = config_.target_step;
     ec.n_workers = config_.n_workers;
+    ec.scan_mode = config_.scan_mode;
     ec.kv_instrumentation = config_.kv_instrumentation;
     runtime::Engine engine(
         &world_, ec,
@@ -93,7 +94,10 @@ runtime::EngineStats Env::run() {
                const world::WorldState& world) {
           return compute_intents(cluster, world);
         });
-    return engine.run();
+    const runtime::EngineStats stats = engine.run();
+    scoreboard_stats_ = engine.scoreboard().stats();
+    mean_blockers_ = engine.scoreboard().mean_blockers();
+    return stats;
   }
   // Lock-step baseline (Algorithm 1): one all-agents "cluster" per step.
   runtime::EngineStats stats;

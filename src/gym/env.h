@@ -57,6 +57,8 @@ struct EnvConfig {
   std::int32_t pool_workers = 0;
   /// true: AI Metropolis OOO engine; false: lock-step baseline.
   bool out_of_order = true;
+  /// Scoreboard neighbor-scan implementation for the OOO engine.
+  core::ScanMode scan_mode = core::ScanMode::kIndexed;
   bool kv_instrumentation = false;
 };
 
@@ -75,6 +77,14 @@ class Env {
   /// The persistent pool coupled members' LLM chains run on (its stats
   /// feed the scenario report).
   const runtime::TaskPool& chain_pool() const { return chain_pool_; }
+  /// Dependency statistics of the last out-of-order run() — cluster and
+  /// edge counts, plus the paper's sparsity measure (mean blockers per
+  /// check, §2.2). Zero-valued after lock-step runs, which build no
+  /// scoreboard.
+  const core::ScoreboardStats& scoreboard_stats() const {
+    return scoreboard_stats_;
+  }
+  double mean_blockers() const { return mean_blockers_; }
 
  private:
   std::vector<world::StepIntent> compute_intents(
@@ -91,6 +101,8 @@ class Env {
   /// per-step cost of running a coupled cluster is a queue push rather
   /// than a thread (or std::async) spawn inside the timed region.
   runtime::TaskPool chain_pool_;
+  core::ScoreboardStats scoreboard_stats_;
+  double mean_blockers_ = 0.0;
 };
 
 }  // namespace aimetro::gym

@@ -218,7 +218,8 @@ class Executor {
     }
     core::DependencyParams params{trace_.radius_p, trace_.max_vel};
     scoreboard_ = std::make_unique<core::Scoreboard>(
-        params, core::make_euclidean(), std::move(initial), trace_.n_steps);
+        params, core::make_euclidean(), std::move(initial), trace_.n_steps,
+        cfg_.scan_mode);
     metropolis_dispatch();
   }
 

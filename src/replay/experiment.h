@@ -49,6 +49,9 @@ struct ExperimentConfig {
   EngineOverheads overheads;
   /// Max clusters concurrently assigned to workers; 0 = unlimited.
   std::int32_t max_concurrent_clusters = 0;
+  /// Scoreboard neighbor-scan implementation (Metropolis mode):
+  /// spatial-index probes by default, full-scan reference on request.
+  core::ScanMode scan_mode = core::ScanMode::kIndexed;
   bool record_gantt = false;
   /// Run O(n^2) scoreboard invariant checks after every commit (tests).
   bool validate_invariants = false;

@@ -1,5 +1,6 @@
 #include "runtime/engine.h"
 
+#include <chrono>
 #include <utility>
 
 #include "common/check.h"
@@ -7,18 +8,29 @@
 
 namespace aimetro::runtime {
 
+namespace {
+
+std::uint64_t elapsed_us(std::chrono::steady_clock::time_point from,
+                         std::chrono::steady_clock::time_point to) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(to - from)
+          .count());
+}
+
+}  // namespace
+
 Engine::Engine(world::WorldState* world, EngineConfig config, StepFn step_fn)
     : world_(world), config_(config), step_fn_(std::move(step_fn)) {
   AIM_CHECK(world_ != nullptr);
   AIM_CHECK(step_fn_ != nullptr);
   AIM_CHECK(config_.n_workers >= 1);
   if (config_.pool != nullptr) {
-    // The controller dispatches while holding state_mutex_, which every
-    // worker needs to commit: a bounded queue's backpressure would then
-    // deadlock the dispatcher against its own workers. Refuse loudly.
+    // The controller dispatches while holding the commit lock, which
+    // every worker needs to commit: a bounded queue's backpressure would
+    // then deadlock the dispatcher against its own workers. Refuse loudly.
     AIM_CHECK_MSG(config_.pool->max_queued() == 0,
                   "Engine requires an unbounded TaskPool (dispatch happens "
-                  "under the engine lock; backpressure would deadlock)");
+                  "under the commit lock; backpressure would deadlock)");
     pool_ = config_.pool;
   } else {
     owned_pool_ = std::make_unique<TaskPool>(config_.n_workers);
@@ -31,7 +43,7 @@ Engine::Engine(world::WorldState* world, EngineConfig config, StepFn step_fn)
   }
   scoreboard_ = std::make_unique<core::Scoreboard>(
       config_.params, core::make_euclidean(), std::move(initial),
-      config_.target_step);
+      config_.target_step, config_.scan_mode);
   if (config_.kv_instrumentation) {
     for (std::size_t i = 0; i < world_->agent_count(); ++i) {
       const Tile t = world_->tile_of(static_cast<AgentId>(i));
@@ -47,12 +59,12 @@ Engine::~Engine() {
   // In-flight cluster tasks reference this engine; when the pool is
   // external we cannot rely on the pool destructor to join them, so drain
   // explicitly either way.
-  std::unique_lock<std::mutex> lock(state_mutex_);
+  std::unique_lock<std::mutex> lock(commit_mutex_);
   done_cv_.wait(lock, [&] { return inflight_clusters_ == 0; });
 }
 
 void Engine::dispatch_ready_locked() {
-  // Caller holds state_mutex_. Ready clusters become pool tasks at their
+  // Caller holds commit_mutex_. Ready clusters become pool tasks at their
   // step as the submission priority, so a backlogged pool still hands the
   // earliest step to the next free worker (§3.5).
   if (error_ != nullptr) return;  // failed runs stop dispatching
@@ -67,7 +79,9 @@ void Engine::dispatch_ready_locked() {
 
 void Engine::execute_cluster(core::AgentCluster cluster) {
   // Heavy lifting off the controller's critical path (§3.6): agent
-  // processing (LLM calls) runs without any engine lock.
+  // processing (LLM calls) runs without any engine lock, and the world
+  // commit takes only the world's own mutex — graph maintenance in other
+  // workers proceeds concurrently.
   std::vector<world::StepIntent> intents;
   std::exception_ptr error;
   try {
@@ -76,72 +90,105 @@ void Engine::execute_cluster(core::AgentCluster cluster) {
     error = std::current_exception();
   }
 
-  std::lock_guard<std::mutex> lock(state_mutex_);
-  if (error == nullptr && error_ == nullptr) {
+  if (error == nullptr && !failed_.load(std::memory_order_acquire)) {
     try {
       // resolve_conflict_and_commit applies developer conflict rules and
       // commits winners to the world; the unique world lock excludes
-      // concurrent observation readers in other workers.
-      std::unique_lock<std::shared_mutex> world_lock(world_->mutex());
-      const auto outcomes =
-          world_->resolve_conflict_and_commit(cluster.step, intents);
-      world_lock.unlock();
+      // concurrent observation readers in other workers. The dependency
+      // rules already guarantee in-flight clusters touch disjoint
+      // perception regions, so world commits from different clusters can
+      // interleave freely.
       std::vector<std::pair<AgentId, Pos>> moves;
-      moves.reserve(outcomes.size());
-      for (const auto& out : outcomes) {
-        moves.emplace_back(out.agent, out.tile.center());
-      }
-      scoreboard_->commit(moves);
-
-      if (config_.kv_instrumentation) {
-        // Transactional mirror of the committed agent rows, as the paper
-        // keeps all simulation state in the in-memory database.
-        kv::Transaction txn = store_.transaction();
+      {
+        std::unique_lock<std::shared_mutex> world_lock(world_->mutex());
+        const auto outcomes =
+            world_->resolve_conflict_and_commit(cluster.step, intents);
+        world_lock.unlock();
+        moves.reserve(outcomes.size());
         for (const auto& out : outcomes) {
-          const std::string key = strformat("agent:%d", out.agent);
-          txn.hset(key, "step", std::to_string(cluster.step + 1));
-          txn.hset(key, "x", std::to_string(out.tile.x));
-          txn.hset(key, "y", std::to_string(out.tile.y));
+          moves.emplace_back(out.agent, out.tile.center());
         }
-        txn.rpush("log:commits",
-                  strformat("step=%d size=%zu", cluster.step,
-                            cluster.members.size()));
-        txn.incr_by("stats:agent_steps",
-                    static_cast<std::int64_t>(cluster.members.size()));
-        const auto result = txn.exec();
-        std::lock_guard<std::mutex> slock(stats_mutex_);
-        ++stats_.kv_transactions;
-        if (result == kv::TxnResult::kConflict) ++stats_.kv_conflicts;
+        if (config_.kv_instrumentation) {
+          // Transactional mirror of the committed agent rows, as the
+          // paper keeps all simulation state in the in-memory database.
+          // The store's shard locks make this safe outside the commit
+          // lock.
+          kv::Transaction txn = store_.transaction();
+          for (const auto& out : outcomes) {
+            const std::string key = strformat("agent:%d", out.agent);
+            txn.hset(key, "step", std::to_string(cluster.step + 1));
+            txn.hset(key, "x", std::to_string(out.tile.x));
+            txn.hset(key, "y", std::to_string(out.tile.y));
+          }
+          txn.rpush("log:commits",
+                    strformat("step=%d size=%zu", cluster.step,
+                              cluster.members.size()));
+          txn.incr_by("stats:agent_steps",
+                      static_cast<std::int64_t>(cluster.members.size()));
+          const auto result = txn.exec();
+          std::lock_guard<std::mutex> slock(stats_mutex_);
+          ++stats_.kv_transactions;
+          if (result == kv::TxnResult::kConflict) ++stats_.kv_conflicts;
+        }
+      }
+
+      // Graph maintenance: the only cross-worker critical section left.
+      // Timed so EngineStats can show whether commits serialize the
+      // pipeline (wait) and what the maintenance itself costs (hold).
+      const auto wait_begin = std::chrono::steady_clock::now();
+      std::uint64_t wait_us = 0;
+      std::uint64_t hold_us = 0;
+      {
+        std::unique_lock<std::mutex> lock(commit_mutex_);
+        const auto acquired = std::chrono::steady_clock::now();
+        wait_us = elapsed_us(wait_begin, acquired);
+        if (error_ == nullptr) {
+          scoreboard_->commit(moves);
+          dispatch_ready_locked();
+        }
+        hold_us = elapsed_us(acquired, std::chrono::steady_clock::now());
       }
       {
         std::lock_guard<std::mutex> slock(stats_mutex_);
         ++stats_.clusters_executed;
         stats_.agent_steps += cluster.members.size();
+        ++stats_.commits;
+        stats_.commit_wait_us += wait_us;
+        stats_.commit_hold_us += hold_us;
+        stats_.max_commit_wait_us =
+            std::max(stats_.max_commit_wait_us, wait_us);
       }
-      dispatch_ready_locked();
     } catch (...) {
       error = std::current_exception();
     }
   }
-  if (error != nullptr && error_ == nullptr) error_ = error;
-  --inflight_clusters_;
-  // The commit that finishes the last agent (or records the first error)
-  // is what unblocks run(); the ack queue the controller used to drain is
-  // gone.
-  done_cv_.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(commit_mutex_);
+    if (error != nullptr && error_ == nullptr) {
+      error_ = error;
+      failed_.store(true, std::memory_order_release);
+    }
+    --inflight_clusters_;
+    // The commit that finishes the last agent (or records the first
+    // error) is what unblocks run(). Notify under the lock: a waiter in
+    // ~Engine may destroy the condition variable the instant its
+    // predicate holds.
+    done_cv_.notify_all();
+  }
 }
 
 EngineStats Engine::run() {
-  std::unique_lock<std::mutex> lock(state_mutex_);
-  dispatch_ready_locked();
-  // Controller: wait until every agent has reached the target (or a task
-  // failed) and all in-flight cluster tasks have drained.
-  done_cv_.wait(lock, [&] {
-    return (scoreboard_->all_done() || error_ != nullptr) &&
-           inflight_clusters_ == 0;
-  });
-  if (error_ != nullptr) std::rethrow_exception(error_);
-  lock.unlock();
+  {
+    std::unique_lock<std::mutex> lock(commit_mutex_);
+    dispatch_ready_locked();
+    // Controller: wait until every agent has reached the target (or a
+    // task failed) and all in-flight cluster tasks have drained.
+    done_cv_.wait(lock, [&] {
+      return (scoreboard_->all_done() || error_ != nullptr) &&
+             inflight_clusters_ == 0;
+    });
+    if (error_ != nullptr) std::rethrow_exception(error_);
+  }
   std::lock_guard<std::mutex> slock(stats_mutex_);
   return stats_;
 }

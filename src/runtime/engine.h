@@ -13,12 +13,23 @@
 // keeps it in Redis) — agent rows are updated transactionally at each
 // commit and an instrumentation log records every cluster dispatch.
 //
+// Locking discipline (sharded commits): there is no single engine-wide
+// state lock. World writes serialize on the world's own shared_mutex;
+// scoreboard graph maintenance (commit + dispatch of released clusters)
+// serializes on a separate commit lock; the kv mirror uses the store's
+// internal shard locks. A worker preparing moves (LLM calls, world
+// observation, conflict resolution) therefore never contends with another
+// worker's graph maintenance — only the scoreboard commit itself is a
+// critical section, and EngineStats reports how long workers waited for
+// it. See docs/ARCHITECTURE.md, "Dependency core".
+//
 // The paper uses processes to dodge the Python GIL; C++ threads carry no
 // such penalty, so workers are pool threads here. The scheduling policy
 // objects (Scoreboard, clustering, priorities) are the same code the
 // discrete-event benchmarks use.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <exception>
 #include <functional>
@@ -37,11 +48,15 @@ struct EngineConfig {
   core::DependencyParams params;
   Step target_step = 100;
   std::int32_t n_workers = 4;
+  /// Scoreboard neighbor-scan implementation (spatial-index probes by
+  /// default; kBruteForce is the full-scan reference path for
+  /// differential testing).
+  core::ScanMode scan_mode = core::ScanMode::kIndexed;
   /// Mirror agent state and an instrumentation stream into the kv store.
   bool kv_instrumentation = true;
   /// Run cluster tasks on an externally owned pool instead of a private
   /// one (the pool must outlive the engine and have no queue bound —
-  /// dispatch happens under the engine lock, so backpressure would
+  /// dispatch happens under the commit lock, so backpressure would
   /// deadlock the dispatcher against its own workers; checked at
   /// construction). Cluster concurrency is then bounded by that pool's
   /// worker count, not n_workers — share a pool only when that is what
@@ -54,6 +69,15 @@ struct EngineStats {
   std::uint64_t agent_steps = 0;
   std::uint64_t kv_transactions = 0;
   std::uint64_t kv_conflicts = 0;
+  /// Commit-lock contention: total scoreboard commits, total microseconds
+  /// workers spent waiting to acquire the commit lock, total microseconds
+  /// spent holding it (graph maintenance + dispatch), and the worst
+  /// single wait. wait >> hold means commits are serializing the
+  /// pipeline; both near zero means the LLM calls dominate, as designed.
+  std::uint64_t commits = 0;
+  std::uint64_t commit_wait_us = 0;
+  std::uint64_t commit_hold_us = 0;
+  std::uint64_t max_commit_wait_us = 0;
 };
 
 class Engine {
@@ -94,10 +118,16 @@ class Engine {
   std::unique_ptr<TaskPool> owned_pool_;
   TaskPool* pool_ = nullptr;
 
-  std::mutex state_mutex_;  // guards scoreboard_ + world_ commits
+  /// Guards scoreboard_ graph maintenance, dispatch bookkeeping
+  /// (inflight_clusters_), and error_. World commits take only the
+  /// world's own mutex; the kv mirror uses the store's shard locks.
+  std::mutex commit_mutex_;
   std::condition_variable done_cv_;
-  std::uint64_t inflight_clusters_ = 0;  // guarded by state_mutex_
+  std::uint64_t inflight_clusters_ = 0;  // guarded by commit_mutex_
   std::exception_ptr error_;             // first task failure; stops dispatch
+  /// Lock-free mirror of `error_ != nullptr` so workers can skip the
+  /// world commit on failed runs without touching the commit lock.
+  std::atomic<bool> failed_{false};
   EngineStats stats_;
   std::mutex stats_mutex_;
 };

@@ -208,6 +208,12 @@ EngineLlmStack make_engine_llm(const ScenarioSpec& spec) {
   return stack;
 }
 
+core::ScanMode scan_mode_of(const ScenarioSpec& spec) {
+  return spec.scoreboard == ScoreboardKind::kBrute
+             ? core::ScanMode::kBruteForce
+             : core::ScanMode::kIndexed;
+}
+
 std::int32_t sign(std::int32_t d) { return d > 0 ? 1 : (d < 0 ? -1 : 0); }
 
 /// One 4-neighbor step from `from` toward `to` (axis with the larger gap
@@ -345,6 +351,7 @@ replay::ExperimentConfig ScenarioDriver::experiment_config() const {
   cfg.gpu = *gpu;
   cfg.parallelism =
       llm::ParallelismConfig{spec_.tensor_parallel, spec_.data_parallel};
+  cfg.scan_mode = scan_mode_of(spec_);
   return cfg;
 }
 
@@ -513,6 +520,7 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
     ecfg.params = core::DependencyParams{spec_.radius_p, spec_.max_vel};
     ecfg.target_step = tr.n_steps;
     ecfg.n_workers = workers;
+    ecfg.scan_mode = scan_mode_of(spec_);
     ecfg.kv_instrumentation = false;
 
     // One agent's traced calls for a step, issued in chain order (calls
@@ -682,6 +690,7 @@ ScenarioReport ScenarioDriver::run_engine_gym(bool serial_baseline) const {
   cfg.target_step = spec_.sim_steps();
   cfg.n_workers = spec_.workers;
   cfg.pool_workers = spec_.resolved_pool_workers();
+  cfg.scan_mode = scan_mode_of(spec_);
 
   // Baseline: lock-step execution (Algorithm 1), same LLM pricing.
   double serial_secs = 0.0;
@@ -720,12 +729,12 @@ ScenarioReport ScenarioDriver::run_engine_gym(bool serial_baseline) const {
   if (serial_baseline && metro_secs > 0.0) {
     r.speedup_vs_serial = serial_secs / metro_secs;
   }
-  r.clusters_dispatched = metro_stats.clusters_executed;
-  r.mean_cluster_size =
-      metro_stats.clusters_executed > 0
-          ? static_cast<double>(metro_stats.agent_steps) /
-                static_cast<double>(metro_stats.clusters_executed)
-          : 0.0;
+  // Dependency statistics come from the OOO engine's scoreboard, the
+  // same source as the trace paths — so gym runs report the paper's
+  // sparsity measure too.
+  r.clusters_dispatched = metro.scoreboard_stats().clusters_dispatched;
+  r.mean_cluster_size = metro.scoreboard_stats().mean_cluster_size();
+  r.mean_blockers = metro.mean_blockers();
   r.pool_workers = metro.chain_pool().workers();
   r.peak_inflight_tasks = metro.chain_pool().stats().peak_in_flight;
   r.world_hash_serial = serial_hash;

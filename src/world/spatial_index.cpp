@@ -5,10 +5,29 @@
 
 namespace aimetro::world {
 
+namespace {
+
+template <typename Bucket>
+void erase_entry(Bucket& bucket, AgentId id) {
+  const auto it =
+      std::find_if(bucket.begin(), bucket.end(),
+                   [id](const auto& entry) { return entry.id == id; });
+  AIM_CHECK(it != bucket.end());
+  bucket.erase(it);
+}
+
+}  // namespace
+
 void SpatialIndex::insert(AgentId id, Pos pos) {
   AIM_CHECK_MSG(positions_.count(id) == 0, "agent " << id << " already indexed");
   positions_.emplace(id, pos);
-  cells_[cell_of(pos)].push_back(id);
+  cells_[cell_of(pos)].push_back(Entry{id, pos});
+}
+
+void SpatialIndex::bulk_insert(const std::vector<std::pair<AgentId, Pos>>& items) {
+  positions_.reserve(positions_.size() + items.size());
+  cells_.reserve(cells_.size() + items.size());
+  for (const auto& [id, pos] : items) insert(id, pos);
 }
 
 void SpatialIndex::remove(AgentId id) {
@@ -17,9 +36,8 @@ void SpatialIndex::remove(AgentId id) {
   const Cell c = cell_of(it->second);
   auto cit = cells_.find(c);
   AIM_CHECK(cit != cells_.end());
-  auto& bucket = cit->second;
-  bucket.erase(std::find(bucket.begin(), bucket.end(), id));
-  if (bucket.empty()) cells_.erase(cit);
+  erase_entry(cit->second, id);
+  if (cit->second.empty()) cells_.erase(cit);
   positions_.erase(it);
 }
 
@@ -32,11 +50,19 @@ void SpatialIndex::update(AgentId id, Pos pos) {
   const Cell old_cell = cell_of(it->second);
   const Cell new_cell = cell_of(pos);
   it->second = pos;
-  if (old_cell == new_cell) return;
+  if (old_cell == new_cell) {
+    auto& bucket = cells_.at(old_cell);
+    const auto eit =
+        std::find_if(bucket.begin(), bucket.end(),
+                     [id](const Entry& e) { return e.id == id; });
+    AIM_CHECK(eit != bucket.end());
+    eit->pos = pos;
+    return;
+  }
   auto& old_bucket = cells_[old_cell];
-  old_bucket.erase(std::find(old_bucket.begin(), old_bucket.end(), id));
+  erase_entry(old_bucket, id);
   if (old_bucket.empty()) cells_.erase(old_cell);
-  cells_[new_cell].push_back(id);
+  cells_[new_cell].push_back(Entry{id, pos});
 }
 
 Pos SpatialIndex::position(AgentId id) const {
@@ -45,26 +71,31 @@ Pos SpatialIndex::position(AgentId id) const {
   return it->second;
 }
 
-std::vector<AgentId> SpatialIndex::query_box(Pos center,
-                                             double half_extent) const {
+void SpatialIndex::query_box_into(Pos center, double half_extent,
+                                  std::vector<AgentId>* out) const {
   AIM_CHECK(half_extent >= 0.0);
-  std::vector<AgentId> out;
+  out->clear();
   const Cell lo = cell_of(Pos{center.x - half_extent, center.y - half_extent});
   const Cell hi = cell_of(Pos{center.x + half_extent, center.y + half_extent});
   for (std::int32_t cy = lo.y; cy <= hi.y; ++cy) {
     for (std::int32_t cx = lo.x; cx <= hi.x; ++cx) {
       auto it = cells_.find(Cell{cx, cy});
       if (it == cells_.end()) continue;
-      for (AgentId id : it->second) {
-        const Pos p = positions_.at(id);
-        if (std::abs(p.x - center.x) <= half_extent &&
-            std::abs(p.y - center.y) <= half_extent) {
-          out.push_back(id);
+      for (const Entry& e : it->second) {
+        if (std::abs(e.pos.x - center.x) <= half_extent &&
+            std::abs(e.pos.y - center.y) <= half_extent) {
+          out->push_back(e.id);
         }
       }
     }
   }
-  std::sort(out.begin(), out.end());
+  std::sort(out->begin(), out->end());
+}
+
+std::vector<AgentId> SpatialIndex::query_box(Pos center,
+                                             double half_extent) const {
+  std::vector<AgentId> out;
+  query_box_into(center, half_extent, &out);
   return out;
 }
 

@@ -6,9 +6,14 @@
 // Chebyshev box, which is a superset of the Euclidean, Manhattan and
 // Chebyshev balls of the same radius — callers apply their exact metric on
 // the candidates, keeping the index metric-agnostic.
+//
+// Hot-path design: cell buckets store (id, pos) entries so a box query
+// never touches the id->pos hash map, and query_box_into appends into a
+// caller-owned buffer so steady-state queries allocate nothing.
 #pragma once
 
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
@@ -23,6 +28,11 @@ class SpatialIndex {
   }
 
   void insert(AgentId id, Pos pos);
+  /// Insert every (id, pos) pair at once (ids must be distinct and not
+  /// yet indexed). Reserves the hash tables up front, so building an
+  /// index over an initial population does one allocation pass instead
+  /// of rehash-as-you-go.
+  void bulk_insert(const std::vector<std::pair<AgentId, Pos>>& items);
   /// No-op if absent.
   void remove(AgentId id);
   /// Insert-or-move.
@@ -36,11 +46,22 @@ class SpatialIndex {
   /// Deterministic order (sorted by id).
   std::vector<AgentId> query_box(Pos center, double half_extent) const;
 
+  /// query_box into a caller-owned buffer: `out` is cleared, filled with
+  /// the sorted matches, and keeps its capacity across calls — the
+  /// allocation-free form for per-commit hot paths.
+  void query_box_into(Pos center, double half_extent,
+                      std::vector<AgentId>* out) const;
+
   /// Agents within Euclidean distance `radius` of `center`, sorted by id.
   std::vector<AgentId> query_radius(Pos center, double radius) const;
 
  private:
   using Cell = Tile;  // reuse integer pair + hash
+
+  struct Entry {
+    AgentId id;
+    Pos pos;
+  };
 
   Cell cell_of(Pos p) const {
     return Cell{static_cast<std::int32_t>(std::floor(p.x / cell_size_)),
@@ -49,7 +70,7 @@ class SpatialIndex {
 
   double cell_size_;
   std::unordered_map<AgentId, Pos> positions_;
-  std::unordered_map<Cell, std::vector<AgentId>, TileHash> cells_;
+  std::unordered_map<Cell, std::vector<Entry>, TileHash> cells_;
 };
 
 }  // namespace aimetro::world

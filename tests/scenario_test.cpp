@@ -394,6 +394,31 @@ TEST(Registry, MixedVilleIsParameterized) {
   EXPECT_FALSE(find_scenario("mixed_villeXL", &error).has_value());
 }
 
+TEST(Registry, MetroVilleIsParameterizedToTenThousand) {
+  std::string error;
+  const auto m100 = find_scenario("metro_ville100", &error);
+  ASSERT_TRUE(m100.has_value()) << error;
+  EXPECT_EQ(m100->agents, 100);
+  EXPECT_EQ(m100->segments, 4);
+  EXPECT_EQ(validate_spec(*m100), "");
+
+  const auto m10k = find_scenario("metro_ville10000", &error);
+  ASSERT_TRUE(m10k.has_value()) << error;
+  EXPECT_EQ(m10k->agents, 10000);
+  EXPECT_EQ(m10k->segments, 400);
+  EXPECT_EQ(validate_spec(*m10k), "");
+
+  // Non-multiples of 25 ride the generic remainder split.
+  const auto m1013 = find_scenario("metro_ville1013", &error);
+  ASSERT_TRUE(m1013.has_value()) << error;
+  EXPECT_EQ(m1013->segments, 41);
+  EXPECT_EQ(validate_spec(*m1013), "");
+
+  EXPECT_FALSE(find_scenario("metro_ville99", &error).has_value());
+  EXPECT_FALSE(find_scenario("metro_ville10001", &error).has_value());
+  EXPECT_FALSE(find_scenario("metro_villeXXL", &error).has_value());
+}
+
 TEST(Registry, MetropolisWeekIsAMultiDayMixedEpisode) {
   std::string error;
   const auto week = find_scenario("metropolis_week", &error);
@@ -687,6 +712,85 @@ TEST(Driver, InvalidSpecThrowsWithTheValidationMessage) {
   ScenarioSpec spec;
   spec.model = "gpt-17";
   EXPECT_THROW(ScenarioDriver{spec}, CheckError);
+}
+
+// ---- Scoreboard scan modes ----
+
+TEST(ScanModes, SpecKeyParsesRendersAndRejects) {
+  ScenarioSpec spec;
+  EXPECT_EQ(spec.scoreboard, ScoreboardKind::kIndexed);
+  std::string error;
+  ASSERT_TRUE(apply_override(&spec, "scoreboard=brute", &error)) << error;
+  EXPECT_EQ(spec.scoreboard, ScoreboardKind::kBrute);
+  EXPECT_NE(spec.to_text().find("scoreboard = brute"), std::string::npos);
+  EXPECT_FALSE(apply_override(&spec, "scoreboard=quadtree", &error));
+  EXPECT_EQ(validate_spec(spec), "");
+}
+
+TEST(ScanModes, BruteAndIndexedDigestsAgreeOnEveryRegistryScenario) {
+  // The differential guarantee at the workload level: for every shipped
+  // registry scenario, on both backends, the spatial-index scoreboard
+  // must reach the same final state (digest), dispatch the same clusters,
+  // and measure the same sparsity as the brute-force reference. Windows
+  // are shrunk so the whole sweep stays unit-test-sized; the Release CI
+  // smoke runs metro_ville1000 at full window.
+  for (const auto& entry : registry_entries()) {
+    std::string error;
+    auto spec = find_scenario(entry.name, &error);
+    ASSERT_TRUE(spec.has_value()) << error;
+    if (spec->map == MapKind::kArena) {
+      spec->steps_per_day = 20;  // live gym run: 20 target steps
+    } else {
+      spec->window_begin = 4320;
+      spec->window_end = 4340;
+      if (spec->agents > 200) spec->agents = 200;
+    }
+    spec->call_latency_us = 0;
+    ASSERT_EQ(validate_spec(*spec), "") << entry.name;
+
+    for (Backend backend : {Backend::kDes, Backend::kEngine}) {
+      if (spec->map == MapKind::kArena && backend == Backend::kDes) {
+        continue;  // arena maps are engine-only
+      }
+      spec->backend = backend;
+      spec->scoreboard = ScoreboardKind::kIndexed;
+      const auto indexed = ScenarioDriver(*spec).run(/*serial_baseline=*/false);
+      spec->scoreboard = ScoreboardKind::kBrute;
+      const auto brute = ScenarioDriver(*spec).run(/*serial_baseline=*/false);
+
+      EXPECT_EQ(indexed.scoreboard_digest, brute.scoreboard_digest)
+          << entry.name << " on " << backend_name(backend);
+      EXPECT_EQ(indexed.total_calls, brute.total_calls) << entry.name;
+      EXPECT_EQ(indexed.agent_steps, brute.agent_steps) << entry.name;
+      if (backend == Backend::kDes) {
+        // Virtual time makes the whole schedule deterministic, so the
+        // scheduler statistics must match bit for bit. (Engine runs
+        // reach the same final state, but cluster formation there
+        // depends on real thread interleaving either way.)
+        EXPECT_EQ(indexed.clusters_dispatched, brute.clusters_dispatched)
+            << entry.name;
+        EXPECT_EQ(indexed.mean_cluster_size, brute.mean_cluster_size)
+            << entry.name;
+        EXPECT_EQ(indexed.mean_blockers, brute.mean_blockers) << entry.name;
+        EXPECT_EQ(indexed.metro_seconds, brute.metro_seconds) << entry.name;
+      }
+    }
+  }
+}
+
+TEST(ScanModes, GymReportCarriesDependencySparsity) {
+  // The arena/gym path reports mean blockers and mean cluster size from
+  // the OOO engine's scoreboard, like the trace paths do.
+  std::string error;
+  auto spec = find_scenario("quickstart_arena", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  spec->steps_per_day = 20;
+  spec->call_latency_us = 0;
+  const auto report = ScenarioDriver(*spec).run(/*serial_baseline=*/false);
+  EXPECT_GT(report.clusters_dispatched, 0u);
+  EXPECT_GT(report.mean_cluster_size, 0.0);
+  EXPECT_GE(report.mean_blockers, 0.0);
+  EXPECT_NE(report.summary().find("mean-blockers"), std::string::npos);
 }
 
 // ---- Remainder-preserving segment splits ----

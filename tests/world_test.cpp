@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <utility>
+#include <vector>
+
 #include "common/check.h"
 #include "world/grid_map.h"
 #include "world/pathfinding.h"
@@ -112,6 +116,43 @@ TEST(SpatialIndex, BoxQueryIsChebyshevBall) {
   idx.insert(2, Pos{5, 0});    // chebyshev 5
   EXPECT_EQ(idx.query_box(Pos{0, 0}, 4.0), (std::vector<AgentId>{0, 1}));
   EXPECT_EQ(idx.query_radius(Pos{0, 0}, 5.0), (std::vector<AgentId>{0, 2}));
+}
+
+TEST(SpatialIndex, BulkInsertMatchesIncrementalInserts) {
+  SpatialIndex bulk(4.0);
+  SpatialIndex one_by_one(4.0);
+  std::vector<std::pair<AgentId, Pos>> items;
+  for (AgentId i = 0; i < 64; ++i) {
+    const Pos p{static_cast<double>((i * 17) % 40),
+                static_cast<double>((i * 29) % 40)};
+    items.emplace_back(i, p);
+    one_by_one.insert(i, p);
+  }
+  bulk.bulk_insert(items);
+  EXPECT_EQ(bulk.size(), one_by_one.size());
+  for (double r : {0.0, 3.0, 10.0, 50.0}) {
+    EXPECT_EQ(bulk.query_box(Pos{20, 20}, r),
+              one_by_one.query_box(Pos{20, 20}, r));
+  }
+}
+
+TEST(SpatialIndex, QueryIntoBufferReusesCapacityAndSorts) {
+  SpatialIndex idx(4.0);
+  for (AgentId i = 0; i < 32; ++i) {
+    idx.insert(i, Pos{static_cast<double>(i % 8), static_cast<double>(i / 8)});
+  }
+  std::vector<AgentId> buf;
+  idx.query_box_into(Pos{3.5, 1.5}, 10.0, &buf);
+  EXPECT_EQ(buf.size(), 32u);
+  EXPECT_TRUE(std::is_sorted(buf.begin(), buf.end()));
+  const std::size_t cap = buf.capacity();
+  idx.query_box_into(Pos{0, 0}, 0.5, &buf);
+  EXPECT_EQ(buf, (std::vector<AgentId>{0}));
+  EXPECT_EQ(buf.capacity(), cap);  // cleared, not reallocated
+  // Same-cell position updates must be visible to the box filter.
+  idx.update(0, Pos{1.0, 1.0});
+  idx.query_box_into(Pos{0, 0}, 0.5, &buf);
+  EXPECT_TRUE(buf.empty());
 }
 
 TEST(Pathfinding, ShortestOnOpenGrid) {
