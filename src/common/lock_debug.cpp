@@ -1,0 +1,235 @@
+#include "common/lock_debug.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+#include <vector>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define AIMETRO_LOCK_DEBUG_HAVE_BACKTRACE 1
+#endif
+#endif
+
+namespace aimetro::common::lock_debug {
+
+namespace {
+
+std::string capture_stack() {
+#ifdef AIMETRO_LOCK_DEBUG_HAVE_BACKTRACE
+  void* frames[32];
+  const int n = ::backtrace(frames, 32);
+  char** symbols = ::backtrace_symbols(frames, n);
+  std::ostringstream os;
+  if (symbols != nullptr) {
+    // Skip capture_stack and note_acquire themselves.
+    for (int i = 2; i < n; ++i) os << "    " << symbols[i] << "\n";
+    std::free(symbols);
+  }
+  return os.str();
+#else
+  return "    <no backtrace support on this platform>\n";
+#endif
+}
+
+const char* safe_name(const char* name) {
+  return name != nullptr ? name : "mutex";
+}
+
+/// One first-observed ordering: "`to` was acquired while `from` was held".
+struct Edge {
+  std::string stack;  // where that order was first established
+};
+
+struct Node {
+  std::string name;
+  std::unordered_map<const void*, Edge> out;
+};
+
+/// Global lock-order graph. Leaked on purpose: lock wrappers with static
+/// storage duration may release during shutdown after any non-leaked
+/// registry would have been destroyed.
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<const void*, Node> nodes;
+  Handler handler;  // empty = default abort handler
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+struct Held {
+  const void* lock;
+  const char* name;
+  bool trylock;
+  bool shared;
+};
+
+thread_local std::vector<Held> t_held;
+
+/// DFS: is `to` reachable from `from`? On success `path` holds the node
+/// chain from → … → to.
+bool find_path(const Registry& reg, const void* from, const void* to,
+               std::vector<const void*>& path,
+               std::unordered_map<const void*, bool>& visited) {
+  if (visited.count(from) != 0) return false;
+  visited.emplace(from, true);
+  path.push_back(from);
+  if (from == to) return true;
+  if (const auto it = reg.nodes.find(from); it != reg.nodes.end()) {
+    for (const auto& [next, edge] : it->second.out) {
+      if (find_path(reg, next, to, path, visited)) return true;
+    }
+  }
+  path.pop_back();
+  return false;
+}
+
+void dispatch(Registry& reg, Violation v) {
+  Handler handler;
+  {
+    std::lock_guard<std::mutex> lock(reg.mu);
+    handler = reg.handler;
+  }
+  if (handler) {
+    handler(v);
+    return;
+  }
+  std::fprintf(stderr, "%s", v.report.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void note_acquire(const void* lock, const char* name, bool trylock,
+                  bool shared) {
+  Registry& reg = registry();
+  // Recursive acquisition: UB on std::mutex, writer-starvation deadlock
+  // bait on shared_mutex. Report even for trylocks (a successful try_lock
+  // of an already-held std::mutex is just as undefined).
+  for (const Held& h : t_held) {
+    if (h.lock == lock) {
+      Violation v;
+      v.kind = Violation::Kind::kRecursive;
+      v.held = h.lock;
+      v.acquiring = lock;
+      v.held_name = safe_name(h.name);
+      v.acquiring_name = safe_name(name);
+      std::ostringstream os;
+      os << "lock-debug: recursive acquisition of \"" << v.acquiring_name
+         << "\" (" << lock << ") — this thread already holds it\n"
+         << "  current acquisition:\n"
+         << capture_stack();
+      v.report = os.str();
+      dispatch(reg, std::move(v));
+      // Non-aborting handler: record the acquisition anyway so the
+      // matching release keeps the held stack balanced.
+      t_held.push_back(Held{lock, name, trylock, shared});
+      return;
+    }
+  }
+
+  if (!trylock && !t_held.empty()) {
+    // Blocking acquisition while holding other locks: each (held → lock)
+    // pair is an ordering edge. A trylock cannot block, so it creates no
+    // incoming edge (lockdep's rule), but it still lands on the held
+    // stack below — blocking acquisitions made while it is held order
+    // against it normally.
+    Violation pending;
+    bool violated = false;
+    {
+      std::lock_guard<std::mutex> guard(reg.mu);
+      reg.nodes[lock].name = safe_name(name);
+      for (const Held& h : t_held) {
+        Node& from = reg.nodes[h.lock];
+        if (from.name.empty()) from.name = safe_name(h.name);
+        if (from.out.count(lock) != 0) continue;  // order already known
+        std::vector<const void*> path;
+        std::unordered_map<const void*, bool> visited;
+        if (find_path(reg, lock, h.lock, path, visited)) {
+          // Adding h.lock → lock would close a cycle: the opposite order
+          // lock → … → h.lock is already on record.
+          pending.kind = Violation::Kind::kOrderInversion;
+          pending.held = h.lock;
+          pending.acquiring = lock;
+          pending.held_name = from.name;
+          pending.acquiring_name = reg.nodes[lock].name;
+          std::ostringstream os;
+          os << "lock-debug: lock-order inversion — acquiring \""
+             << pending.acquiring_name << "\" (" << lock
+             << ") while holding \"" << pending.held_name << "\" ("
+             << h.lock << ")\n  conflicting order already established: ";
+          for (std::size_t i = 0; i < path.size(); ++i) {
+            if (i > 0) os << " -> ";
+            const auto nit = reg.nodes.find(path[i]);
+            os << '"'
+               << (nit != reg.nodes.end() ? nit->second.name : "mutex")
+               << '"';
+          }
+          os << "\n  that order was first established at:\n";
+          const Edge& first =
+              reg.nodes.at(path[0]).out.at(path[1]);  // path.size() >= 2
+          os << (first.stack.empty() ? "    <unknown>\n" : first.stack);
+          os << "  current acquisition at:\n" << capture_stack();
+          pending.report = os.str();
+          violated = true;
+          break;  // offending edge is not added; graph stays acyclic
+        }
+        from.out.emplace(lock, Edge{capture_stack()});
+      }
+    }
+    if (violated) dispatch(reg, std::move(pending));
+  }
+  t_held.push_back(Held{lock, name, trylock, shared});
+}
+
+void note_release(const void* lock) noexcept {
+  for (auto it = t_held.rbegin(); it != t_held.rend(); ++it) {
+    if (it->lock == lock) {
+      t_held.erase(std::next(it).base());
+      return;
+    }
+  }
+  // Not held per our records (e.g. acquired before a reset()): ignore.
+}
+
+void note_destroy(const void* lock) noexcept {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> guard(reg.mu);
+  reg.nodes.erase(lock);
+  for (auto& [ptr, node] : reg.nodes) node.out.erase(lock);
+}
+
+void set_failure_handler(Handler handler) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> guard(reg.mu);
+  reg.handler = std::move(handler);
+}
+
+std::size_t edge_count() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> guard(reg.mu);
+  std::size_t n = 0;
+  for (const auto& [ptr, node] : reg.nodes) n += node.out.size();
+  return n;
+}
+
+std::size_t held_count() { return t_held.size(); }
+
+void reset() {
+  Registry& reg = registry();
+  {
+    std::lock_guard<std::mutex> guard(reg.mu);
+    reg.nodes.clear();
+    reg.handler = nullptr;
+  }
+  t_held.clear();
+}
+
+}  // namespace aimetro::common::lock_debug

@@ -3,11 +3,14 @@
 #include <atomic>
 #include <cstdio>
 
+#include "common/mutex.h"
+
 namespace aimetro {
 
 namespace {
 std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
-std::mutex g_mutex;
+/// Serializes the fprintf so concurrent log lines never interleave.
+common::Mutex g_mutex{"log"};
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -34,7 +37,7 @@ LogLevel log_level() {
 
 namespace internal {
 void log_message(LogLevel level, const std::string& msg) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  common::MutexLock lock(g_mutex);
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }
 }  // namespace internal

@@ -2,7 +2,6 @@
 // quiet; tests and examples can raise verbosity.
 #pragma once
 
-#include <mutex>
 #include <sstream>
 #include <string>
 

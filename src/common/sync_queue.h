@@ -1,13 +1,17 @@
 // Thread-safe queues used by the real (threaded) runtime: a blocking
 // priority queue for ready/ack cluster traffic (Algorithm 3 keeps both as
-// priority queues ordered by step) and a plain blocking FIFO.
+// priority queues ordered by step) and a plain blocking FIFO. Internal
+// state is guarded by an annotated common::Mutex, so -Wthread-safety
+// checks the discipline and AIMETRO_LOCK_DEBUG builds order-check every
+// acquisition.
 #pragma once
 
-#include <condition_variable>
-#include <mutex>
 #include <optional>
 #include <queue>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace aimetro {
 
@@ -18,7 +22,7 @@ class SyncPriorityQueue {
  public:
   void push(Priority priority, T value) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       heap_.push(Entry{priority, seq_++, std::move(value)});
     }
     cv_.notify_one();
@@ -27,8 +31,8 @@ class SyncPriorityQueue {
   /// Blocks until an element is available or close() is called.
   /// Returns nullopt only after close() with an empty queue.
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return !heap_.empty() || closed_; });
+    common::MutexLock lock(mutex_);
+    while (heap_.empty() && !closed_) cv_.wait(mutex_);
     if (heap_.empty()) return std::nullopt;
     T out = std::move(const_cast<Entry&>(heap_.top()).value);
     heap_.pop();
@@ -37,7 +41,7 @@ class SyncPriorityQueue {
 
   /// Non-blocking pop.
   std::optional<T> try_pop() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     if (heap_.empty()) return std::nullopt;
     T out = std::move(const_cast<Entry&>(heap_.top()).value);
     heap_.pop();
@@ -45,19 +49,19 @@ class SyncPriorityQueue {
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return heap_.size();
   }
 
   bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return closed_;
   }
 
   /// Wake all waiters; subsequent pops drain the queue then return nullopt.
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       closed_ = true;
     }
     cv_.notify_all();
@@ -74,11 +78,12 @@ class SyncPriorityQueue {
     }
   };
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
-  std::uint64_t seq_ = 0;
-  bool closed_ = false;
+  mutable common::Mutex mutex_{"sync_priority_queue"};
+  common::CondVar cv_;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_
+      GUARDED_BY(mutex_);
+  std::uint64_t seq_ GUARDED_BY(mutex_) = 0;
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 /// Simple blocking FIFO queue.
@@ -87,15 +92,15 @@ class SyncQueue {
  public:
   void push(T value) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       queue_.push(std::move(value));
     }
     cv_.notify_one();
   }
 
   std::optional<T> pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    common::MutexLock lock(mutex_);
+    while (queue_.empty() && !closed_) cv_.wait(mutex_);
     if (queue_.empty()) return std::nullopt;
     T out = std::move(queue_.front());
     queue_.pop();
@@ -103,23 +108,23 @@ class SyncQueue {
   }
 
   std::size_t size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     return queue_.size();
   }
 
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::queue<T> queue_;
-  bool closed_ = false;
+  mutable common::Mutex mutex_{"sync_queue"};
+  common::CondVar cv_;
+  std::queue<T> queue_ GUARDED_BY(mutex_);
+  bool closed_ GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace aimetro

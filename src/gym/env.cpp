@@ -48,7 +48,7 @@ std::vector<world::StepIntent> Env::compute_intents(
   std::vector<Observation> observations;
   observations.reserve(cluster.members.size());
   {
-    std::shared_lock<std::shared_mutex> lock(world.mutex());
+    common::ReaderLock lock(world.mutex());
     for (AgentId m : cluster.members) {
       observations.push_back(observe(m, cluster.step, world));
     }
@@ -107,9 +107,10 @@ runtime::EngineStats Env::run() {
   for (Step s = 0; s < config_.target_step; ++s) {
     all.step = s;
     auto intents = compute_intents(all, world_);
-    std::unique_lock<std::shared_mutex> lock(world_.mutex());
-    world_.resolve_conflict_and_commit(s, intents);
-    lock.unlock();
+    {
+      common::WriterLock lock(world_.mutex());
+      world_.resolve_conflict_and_commit(s, intents);
+    }
     ++stats.clusters_executed;
     stats.agent_steps += agents_.size();
   }

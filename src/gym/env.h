@@ -12,6 +12,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/dependency_rules.h"
 #include "llm/client.h"
 #include "runtime/engine.h"
@@ -72,7 +74,10 @@ class Env {
   runtime::EngineStats run();
 
   const world::WorldState& world() const { return world_; }
-  std::uint64_t state_hash() const { return world_.state_hash(); }
+  std::uint64_t state_hash() const {
+    common::ReaderLock lock(world_.mutex());
+    return world_.state_hash();
+  }
   std::size_t agent_count() const { return agents_.size(); }
   /// The persistent pool coupled members' LLM chains run on (its stats
   /// feed the scenario report).
@@ -90,7 +95,8 @@ class Env {
   std::vector<world::StepIntent> compute_intents(
       const core::AgentCluster& cluster, const world::WorldState& world);
   Observation observe(AgentId id, Step step,
-                      const world::WorldState& world) const;
+                      const world::WorldState& world) const
+      REQUIRES_SHARED(world.mutex());
 
   const world::GridMap* map_;
   world::WorldState world_;

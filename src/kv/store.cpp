@@ -4,6 +4,7 @@
 #include <charconv>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 
 namespace aimetro::kv {
@@ -63,8 +64,8 @@ Store::Entry& Store::upsert_unlocked(Shard& shard, const std::string& key,
 
 // ---- Strings ----
 
-void Store::set_unlocked(const std::string& key, std::string value) {
-  Shard& shard = shard_for(key);
+void Store::set_unlocked(Shard& shard, const std::string& key,
+                         std::string value) {
   Entry& e = shard.map[key];
   // SET overwrites regardless of previous type, like Redis.
   ++e.version;
@@ -75,13 +76,13 @@ void Store::set_unlocked(const std::string& key, std::string value) {
 
 void Store::set(const std::string& key, std::string value) {
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  set_unlocked(key, std::move(value));
+  common::MutexLock lock(shard.mutex);
+  set_unlocked(shard, key, std::move(value));
 }
 
 std::optional<std::string> Store::get(const std::string& key) const {
   const Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  common::MutexLock lock(shard.mutex);
   auto it = shard.map.find(key);
   if (it == shard.map.end() || it->second.value.type != Type::kString) {
     return std::nullopt;
@@ -89,9 +90,8 @@ std::optional<std::string> Store::get(const std::string& key) const {
   return it->second.value.str;
 }
 
-std::int64_t Store::incr_by_unlocked(const std::string& key,
+std::int64_t Store::incr_by_unlocked(Shard& shard, const std::string& key,
                                      std::int64_t delta) {
-  Shard& shard = shard_for(key);
   Entry& e = upsert_unlocked(shard, key, Type::kString);
   const std::int64_t cur = e.value.str.empty() ? 0 : parse_int(e.value.str);
   const std::int64_t next = cur + delta;
@@ -101,15 +101,14 @@ std::int64_t Store::incr_by_unlocked(const std::string& key,
 
 std::int64_t Store::incr_by(const std::string& key, std::int64_t delta) {
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  return incr_by_unlocked(key, delta);
+  common::MutexLock lock(shard.mutex);
+  return incr_by_unlocked(shard, key, delta);
 }
 
 // ---- Hashes ----
 
-bool Store::hset_unlocked(const std::string& key, const std::string& field,
-                          std::string value) {
-  Shard& shard = shard_for(key);
+bool Store::hset_unlocked(Shard& shard, const std::string& key,
+                          const std::string& field, std::string value) {
   Entry& e = upsert_unlocked(shard, key, Type::kHash);
   auto [it, inserted] = e.value.hash.insert_or_assign(field, std::move(value));
   (void)it;
@@ -119,14 +118,14 @@ bool Store::hset_unlocked(const std::string& key, const std::string& field,
 bool Store::hset(const std::string& key, const std::string& field,
                  std::string value) {
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  return hset_unlocked(key, field, std::move(value));
+  common::MutexLock lock(shard.mutex);
+  return hset_unlocked(shard, key, field, std::move(value));
 }
 
 std::optional<std::string> Store::hget(const std::string& key,
                                        const std::string& field) const {
   const Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  common::MutexLock lock(shard.mutex);
   auto it = shard.map.find(key);
   if (it == shard.map.end() || it->second.value.type != Type::kHash) {
     return std::nullopt;
@@ -136,8 +135,8 @@ std::optional<std::string> Store::hget(const std::string& key,
   return fit->second;
 }
 
-bool Store::hdel_unlocked(const std::string& key, const std::string& field) {
-  Shard& shard = shard_for(key);
+bool Store::hdel_unlocked(Shard& shard, const std::string& key,
+                          const std::string& field) {
   Entry* e = find_unlocked(shard, key);
   if (!e || e->value.type != Type::kHash) return false;
   const bool erased = e->value.hash.erase(field) > 0;
@@ -147,14 +146,14 @@ bool Store::hdel_unlocked(const std::string& key, const std::string& field) {
 
 bool Store::hdel(const std::string& key, const std::string& field) {
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  return hdel_unlocked(key, field);
+  common::MutexLock lock(shard.mutex);
+  return hdel_unlocked(shard, key, field);
 }
 
 std::vector<std::pair<std::string, std::string>> Store::hgetall(
     const std::string& key) const {
   const Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  common::MutexLock lock(shard.mutex);
   std::vector<std::pair<std::string, std::string>> out;
   auto it = shard.map.find(key);
   if (it == shard.map.end() || it->second.value.type != Type::kHash) return out;
@@ -164,7 +163,7 @@ std::vector<std::pair<std::string, std::string>> Store::hgetall(
 
 std::size_t Store::hlen(const std::string& key) const {
   const Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  common::MutexLock lock(shard.mutex);
   auto it = shard.map.find(key);
   if (it == shard.map.end() || it->second.value.type != Type::kHash) return 0;
   return it->second.value.hash.size();
@@ -172,9 +171,8 @@ std::size_t Store::hlen(const std::string& key) const {
 
 // ---- Sorted sets ----
 
-bool Store::zadd_unlocked(const std::string& key, const std::string& member,
-                          double score) {
-  Shard& shard = shard_for(key);
+bool Store::zadd_unlocked(Shard& shard, const std::string& key,
+                          const std::string& member, double score) {
   Entry& e = upsert_unlocked(shard, key, Type::kZSet);
   auto it = e.value.zscores.find(member);
   if (it != e.value.zscores.end()) {
@@ -191,12 +189,12 @@ bool Store::zadd_unlocked(const std::string& key, const std::string& member,
 bool Store::zadd(const std::string& key, const std::string& member,
                  double score) {
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  return zadd_unlocked(key, member, score);
+  common::MutexLock lock(shard.mutex);
+  return zadd_unlocked(shard, key, member, score);
 }
 
-bool Store::zrem_unlocked(const std::string& key, const std::string& member) {
-  Shard& shard = shard_for(key);
+bool Store::zrem_unlocked(Shard& shard, const std::string& key,
+                          const std::string& member) {
   Entry* e = find_unlocked(shard, key);
   if (!e || e->value.type != Type::kZSet) return false;
   auto it = e->value.zscores.find(member);
@@ -209,14 +207,14 @@ bool Store::zrem_unlocked(const std::string& key, const std::string& member) {
 
 bool Store::zrem(const std::string& key, const std::string& member) {
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  return zrem_unlocked(key, member);
+  common::MutexLock lock(shard.mutex);
+  return zrem_unlocked(shard, key, member);
 }
 
 std::optional<double> Store::zscore(const std::string& key,
                                     const std::string& member) const {
   const Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  common::MutexLock lock(shard.mutex);
   auto it = shard.map.find(key);
   if (it == shard.map.end() || it->second.value.type != Type::kZSet) {
     return std::nullopt;
@@ -229,7 +227,7 @@ std::optional<double> Store::zscore(const std::string& key,
 std::vector<std::pair<std::string, double>> Store::zrange_by_score(
     const std::string& key, double min_score, double max_score) const {
   const Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  common::MutexLock lock(shard.mutex);
   std::vector<std::pair<std::string, double>> out;
   auto it = shard.map.find(key);
   if (it == shard.map.end() || it->second.value.type != Type::kZSet) return out;
@@ -244,7 +242,7 @@ std::vector<std::pair<std::string, double>> Store::zrange_by_score(
 std::optional<std::pair<std::string, double>> Store::zpop_min(
     const std::string& key) {
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  common::MutexLock lock(shard.mutex);
   Entry* e = find_unlocked(shard, key);
   if (!e || e->value.type != Type::kZSet || e->value.zordered.empty()) {
     return std::nullopt;
@@ -258,7 +256,7 @@ std::optional<std::pair<std::string, double>> Store::zpop_min(
 
 std::size_t Store::zcard(const std::string& key) const {
   const Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  common::MutexLock lock(shard.mutex);
   auto it = shard.map.find(key);
   if (it == shard.map.end() || it->second.value.type != Type::kZSet) return 0;
   return it->second.value.zscores.size();
@@ -266,20 +264,20 @@ std::size_t Store::zcard(const std::string& key) const {
 
 // ---- Lists ----
 
-void Store::rpush_unlocked(const std::string& key, std::string value) {
-  Shard& shard = shard_for(key);
+void Store::rpush_unlocked(Shard& shard, const std::string& key,
+                           std::string value) {
   Entry& e = upsert_unlocked(shard, key, Type::kList);
   e.value.list.push_back(std::move(value));
 }
 
 void Store::rpush(const std::string& key, std::string value) {
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  rpush_unlocked(key, std::move(value));
+  common::MutexLock lock(shard.mutex);
+  rpush_unlocked(shard, key, std::move(value));
 }
 
-std::optional<std::string> Store::lpop_unlocked(const std::string& key) {
-  Shard& shard = shard_for(key);
+std::optional<std::string> Store::lpop_unlocked(Shard& shard,
+                                                const std::string& key) {
   Entry* e = find_unlocked(shard, key);
   if (!e || e->value.type != Type::kList || e->value.list.empty()) {
     return std::nullopt;
@@ -292,15 +290,15 @@ std::optional<std::string> Store::lpop_unlocked(const std::string& key) {
 
 std::optional<std::string> Store::lpop(const std::string& key) {
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  return lpop_unlocked(key);
+  common::MutexLock lock(shard.mutex);
+  return lpop_unlocked(shard, key);
 }
 
 std::vector<std::string> Store::lrange(const std::string& key,
                                        std::int64_t start,
                                        std::int64_t stop) const {
   const Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  common::MutexLock lock(shard.mutex);
   std::vector<std::string> out;
   auto it = shard.map.find(key);
   if (it == shard.map.end() || it->second.value.type != Type::kList) return out;
@@ -317,7 +315,7 @@ std::vector<std::string> Store::lrange(const std::string& key,
 
 std::size_t Store::llen(const std::string& key) const {
   const Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  common::MutexLock lock(shard.mutex);
   auto it = shard.map.find(key);
   if (it == shard.map.end() || it->second.value.type != Type::kList) return 0;
   return it->second.value.list.size();
@@ -325,33 +323,32 @@ std::size_t Store::llen(const std::string& key) const {
 
 // ---- Keyspace ----
 
-bool Store::del_unlocked(const std::string& key) {
-  Shard& shard = shard_for(key);
+bool Store::del_unlocked(Shard& shard, const std::string& key) {
   return shard.map.erase(key) > 0;
 }
 
 bool Store::del(const std::string& key) {
   Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  return del_unlocked(key);
+  common::MutexLock lock(shard.mutex);
+  return del_unlocked(shard, key);
 }
 
 bool Store::exists(const std::string& key) const {
   const Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  common::MutexLock lock(shard.mutex);
   return shard.map.count(key) > 0;
 }
 
 Type Store::type(const std::string& key) const {
   const Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  common::MutexLock lock(shard.mutex);
   auto it = shard.map.find(key);
   return it == shard.map.end() ? Type::kNone : it->second.value.type;
 }
 
 std::uint64_t Store::version(const std::string& key) const {
   const Shard& shard = shard_for(key);
-  std::lock_guard<std::mutex> lock(shard.mutex);
+  common::MutexLock lock(shard.mutex);
   auto it = shard.map.find(key);
   return it == shard.map.end() ? 0 : it->second.version;
 }
@@ -359,7 +356,7 @@ std::uint64_t Store::version(const std::string& key) const {
 std::size_t Store::key_count() const {
   std::size_t n = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    common::MutexLock lock(shard->mutex);
     n += shard->map.size();
   }
   return n;
@@ -369,7 +366,7 @@ std::vector<std::string> Store::keys_with_prefix(
     const std::string& prefix) const {
   std::vector<std::string> out;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    common::MutexLock lock(shard->mutex);
     for (const auto& [key, entry] : shard->map) {
       (void)entry;
       if (key.rfind(prefix, 0) == 0) out.push_back(key);
@@ -381,7 +378,7 @@ std::vector<std::string> Store::keys_with_prefix(
 
 void Store::clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    common::MutexLock lock(shard->mutex);
     shard->map.clear();
   }
 }
@@ -391,7 +388,7 @@ std::uint64_t Store::fingerprint() const {
   // not matter. Versions are intentionally excluded (content equality only).
   std::uint64_t fp = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    common::MutexLock lock(shard->mutex);
     for (const auto& [key, entry] : shard->map) {
       std::uint64_t h = hash_string(key) * 0x9e3779b97f4a7c15ULL;
       h ^= splitmix64(static_cast<std::uint64_t>(entry.value.type));
@@ -438,66 +435,105 @@ void Transaction::watch(const std::string& key) {
 }
 
 void Transaction::set(std::string key, std::string value) {
-  commands_.push_back([key = std::move(key), value = std::move(value)](
-                          Store& s) mutable { s.set_unlocked(key, std::move(value)); });
+  commands_.push_back(Command{Command::Op::kSet, std::move(key), {},
+                              std::move(value), 0, 0.0});
 }
 
 void Transaction::incr_by(std::string key, std::int64_t delta) {
   commands_.push_back(
-      [key = std::move(key), delta](Store& s) { s.incr_by_unlocked(key, delta); });
+      Command{Command::Op::kIncrBy, std::move(key), {}, {}, delta, 0.0});
 }
 
 void Transaction::hset(std::string key, std::string field, std::string value) {
-  commands_.push_back([key = std::move(key), field = std::move(field),
-                       value = std::move(value)](Store& s) mutable {
-    s.hset_unlocked(key, field, std::move(value));
-  });
+  commands_.push_back(Command{Command::Op::kHset, std::move(key),
+                              std::move(field), std::move(value), 0, 0.0});
 }
 
 void Transaction::hdel(std::string key, std::string field) {
-  commands_.push_back([key = std::move(key), field = std::move(field)](
-                          Store& s) { s.hdel_unlocked(key, field); });
+  commands_.push_back(Command{Command::Op::kHdel, std::move(key),
+                              std::move(field), {}, 0, 0.0});
 }
 
 void Transaction::zadd(std::string key, std::string member, double score) {
-  commands_.push_back([key = std::move(key), member = std::move(member),
-                       score](Store& s) { s.zadd_unlocked(key, member, score); });
+  commands_.push_back(Command{Command::Op::kZadd, std::move(key),
+                              std::move(member), {}, 0, score});
 }
 
 void Transaction::zrem(std::string key, std::string member) {
-  commands_.push_back([key = std::move(key), member = std::move(member)](
-                          Store& s) { s.zrem_unlocked(key, member); });
+  commands_.push_back(Command{Command::Op::kZrem, std::move(key),
+                              std::move(member), {}, 0, 0.0});
 }
 
 void Transaction::rpush(std::string key, std::string value) {
-  commands_.push_back([key = std::move(key), value = std::move(value)](
-                          Store& s) mutable { s.rpush_unlocked(key, std::move(value)); });
+  commands_.push_back(Command{Command::Op::kRpush, std::move(key), {},
+                              std::move(value), 0, 0.0});
 }
 
 void Transaction::del(std::string key) {
   commands_.push_back(
-      [key = std::move(key)](Store& s) { s.del_unlocked(key); });
+      Command{Command::Op::kDel, std::move(key), {}, {}, 0, 0.0});
+}
+
+void Transaction::apply(const Command& cmd) {
+  Store::Shard& shard = store_.shard_for(cmd.key);
+  switch (cmd.op) {
+    case Command::Op::kSet:
+      store_.set_unlocked(shard, cmd.key, cmd.value);
+      break;
+    case Command::Op::kIncrBy:
+      store_.incr_by_unlocked(shard, cmd.key, cmd.delta);
+      break;
+    case Command::Op::kHset:
+      store_.hset_unlocked(shard, cmd.key, cmd.field, cmd.value);
+      break;
+    case Command::Op::kHdel:
+      store_.hdel_unlocked(shard, cmd.key, cmd.field);
+      break;
+    case Command::Op::kZadd:
+      store_.zadd_unlocked(shard, cmd.key, cmd.field, cmd.score);
+      break;
+    case Command::Op::kZrem:
+      store_.zrem_unlocked(shard, cmd.key, cmd.field);
+      break;
+    case Command::Op::kRpush:
+      store_.rpush_unlocked(shard, cmd.key, cmd.value);
+      break;
+    case Command::Op::kDel:
+      store_.del_unlocked(shard, cmd.key);
+      break;
+  }
 }
 
 TxnResult Transaction::exec() {
-  // Lock every shard in index order (consistent order -> deadlock-free).
-  std::vector<std::unique_lock<std::mutex>> locks;
-  locks.reserve(store_.shards_.size());
-  for (auto& shard : store_.shards_) {
-    locks.emplace_back(shard->mutex);
-  }
+  // Lock every shard in index order (consistent order -> deadlock-free; the
+  // lock-order validator sees the same ascending chain on every commit).
+  // The guard unlocks in reverse on scope exit so a throwing command (e.g.
+  // a WRONGTYPE check) cannot leak the store locked.
+  struct AllShards {
+    std::vector<std::unique_ptr<Store::Shard>>& shards;
+    explicit AllShards(std::vector<std::unique_ptr<Store::Shard>>& s)
+        : shards(s) {
+      for (auto& shard : shards) shard->mutex.lock();
+    }
+    ~AllShards() {
+      for (auto it = shards.rbegin(); it != shards.rend(); ++it) {
+        (*it)->mutex.unlock();
+      }
+    }
+  } all(store_.shards_);
   // Validate watched versions under the global lock.
   for (const auto& [key, version] : watches_) {
     auto& shard = store_.shard_for(key);
     auto it = shard.map.find(key);
-    const std::uint64_t current = it == shard.map.end() ? 0 : it->second.version;
+    const std::uint64_t current =
+        it == shard.map.end() ? 0 : it->second.version;
     if (current != version) {
       watches_.clear();
       commands_.clear();
       return TxnResult::kConflict;
     }
   }
-  for (auto& cmd : commands_) cmd(store_);
+  for (const Command& cmd : commands_) apply(cmd);
   watches_.clear();
   commands_.clear();
   return TxnResult::kCommitted;

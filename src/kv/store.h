@@ -15,16 +15,17 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace aimetro::kv {
 
@@ -117,36 +118,53 @@ class Store {
   };
 
   struct Shard {
-    mutable std::mutex mutex;
-    std::unordered_map<std::string, Entry> map;
+    mutable common::Mutex mutex{"kv.shard"};
+    std::unordered_map<std::string, Entry> map GUARDED_BY(mutex);
   };
 
   Shard& shard_for(const std::string& key);
   const Shard& shard_for(const std::string& key) const;
 
-  // Unlocked primitives shared by the public API and transaction commit.
-  Entry* find_unlocked(Shard& shard, const std::string& key);
-  Entry& upsert_unlocked(Shard& shard, const std::string& key, Type type);
-  void set_unlocked(const std::string& key, std::string value);
-  std::int64_t incr_by_unlocked(const std::string& key, std::int64_t delta);
-  bool hset_unlocked(const std::string& key, const std::string& field,
-                     std::string value);
-  bool hdel_unlocked(const std::string& key, const std::string& field);
-  bool zadd_unlocked(const std::string& key, const std::string& member,
-                     double score);
-  bool zrem_unlocked(const std::string& key, const std::string& member);
-  void rpush_unlocked(const std::string& key, std::string value);
-  std::optional<std::string> lpop_unlocked(const std::string& key);
-  bool del_unlocked(const std::string& key);
+  // Primitives shared by the public API and transaction commit. Each takes
+  // the shard its key hashes to and requires that shard's lock to be held —
+  // the capability travels with the parameter, so -Wthread-safety checks
+  // callers whichever path they lock through (single-shard public API or
+  // the transaction's all-shard commit).
+  Entry* find_unlocked(Shard& shard, const std::string& key)
+      REQUIRES(shard.mutex);
+  Entry& upsert_unlocked(Shard& shard, const std::string& key, Type type)
+      REQUIRES(shard.mutex);
+  void set_unlocked(Shard& shard, const std::string& key, std::string value)
+      REQUIRES(shard.mutex);
+  std::int64_t incr_by_unlocked(Shard& shard, const std::string& key,
+                                std::int64_t delta) REQUIRES(shard.mutex);
+  bool hset_unlocked(Shard& shard, const std::string& key,
+                     const std::string& field, std::string value)
+      REQUIRES(shard.mutex);
+  bool hdel_unlocked(Shard& shard, const std::string& key,
+                     const std::string& field) REQUIRES(shard.mutex);
+  bool zadd_unlocked(Shard& shard, const std::string& key,
+                     const std::string& member, double score)
+      REQUIRES(shard.mutex);
+  bool zrem_unlocked(Shard& shard, const std::string& key,
+                     const std::string& member) REQUIRES(shard.mutex);
+  void rpush_unlocked(Shard& shard, const std::string& key, std::string value)
+      REQUIRES(shard.mutex);
+  std::optional<std::string> lpop_unlocked(Shard& shard,
+                                           const std::string& key)
+      REQUIRES(shard.mutex);
+  bool del_unlocked(Shard& shard, const std::string& key)
+      REQUIRES(shard.mutex);
 
   std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 /// Optimistic transaction: WATCH keys, queue commands, EXEC atomically.
 /// EXEC fails (kConflict) iff any watched key's version changed since
-/// watch() read it. Commands are closures over Store's unlocked primitives
-/// and run with every shard locked. Like Redis MULTI, queued commands do not
-/// observe each other's effects until commit.
+/// watch() read it. Commands are queued as plain data (no per-command
+/// allocation beyond the strings) and applied through Store's unlocked
+/// primitives with every shard locked. Like Redis MULTI, queued commands do
+/// not observe each other's effects until commit.
 class Transaction {
  public:
   explicit Transaction(Store& store) : store_(store) {}
@@ -164,16 +182,42 @@ class Transaction {
   void rpush(std::string key, std::string value);
   void del(std::string key);
 
-  /// Validate watches and apply queued commands atomically.
-  /// After exec() the transaction is reset (watches and queue cleared).
-  TxnResult exec();
+  /// Validate watches and apply queued commands atomically. After exec()
+  /// the transaction is reset (watches and queue cleared). Locks every
+  /// shard in index order — a dynamic acquisition pattern thread-safety
+  /// analysis cannot express, hence the opt-out; AIMETRO_LOCK_DEBUG builds
+  /// still order-check each acquisition at runtime.
+  TxnResult exec() NO_THREAD_SAFETY_ANALYSIS;
 
   std::size_t queued() const { return commands_.size(); }
 
  private:
+  struct Command {
+    enum class Op : std::uint8_t {
+      kSet,
+      kIncrBy,
+      kHset,
+      kHdel,
+      kZadd,
+      kZrem,
+      kRpush,
+      kDel,
+    };
+    Op op;
+    std::string key;
+    std::string field;  // hset/hdel field; zadd/zrem member
+    std::string value;  // set/hset/rpush payload
+    std::int64_t delta = 0;
+    double score = 0.0;
+  };
+
+  /// Dispatch one queued command to the matching unlocked primitive. Only
+  /// called from exec() with every shard locked (inexpressible statically).
+  void apply(const Command& cmd) NO_THREAD_SAFETY_ANALYSIS;
+
   Store& store_;
   std::vector<std::pair<std::string, std::uint64_t>> watches_;
-  std::vector<std::function<void(Store&)>> commands_;
+  std::vector<Command> commands_;
 };
 
 }  // namespace aimetro::kv

@@ -182,6 +182,7 @@ CostModelLlmClient::CostModelLlmClient(CostModel cost,
   for (std::int32_t i = 0; i < cfg_.data_parallel; ++i) {
     replicas_.push_back(std::make_unique<ReplicaState>(&cost_));
   }
+  inflight_.assign(replicas_.size(), 0);
 }
 
 SimTime CostModelLlmClient::prefill_time(std::int64_t prompt_tokens) const {
@@ -225,14 +226,12 @@ CompletionResult CostModelLlmClient::complete(
     // Serialized by route_mutex_ so the invariant "pick a busier replica
     // only when every replica is at least as busy" is exact, as it was
     // under the old global lock.
-    std::lock_guard<std::mutex> route_lock(route_mutex_);
-    for (std::size_t i = 1; i < replicas_.size(); ++i) {
-      if (replicas_[i]->inflight < replicas_[replica_idx]->inflight) {
-        replica_idx = i;
-      }
+    common::MutexLock route_lock(route_mutex_);
+    for (std::size_t i = 1; i < inflight_.size(); ++i) {
+      if (inflight_[i] < inflight_[replica_idx]) replica_idx = i;
     }
     ReplicaState& r = *replicas_[replica_idx];
-    std::lock_guard<std::mutex> lock(r.mutex);
+    common::MutexLock lock(r.mutex);
     const SimTime arrival = clock_->now();
     r.timeline.advance(arrival);
     // At capacity the call queues (in virtual time) until in-flight work
@@ -242,10 +241,11 @@ CompletionResult CostModelLlmClient::complete(
     // No preemption, matching the paper. Slots come from *predicted*
     // finishes now that batches are re-priced every iteration.
     SimTime start = arrival;
-    if (r.inflight >= cfg_.max_running_requests) {
+    const std::int32_t inflight = inflight_[replica_idx];
+    if (inflight >= cfg_.max_running_requests) {
       std::vector<SimTime> finishes = r.timeline.predicted_finishes();
       const auto slot =
-          static_cast<std::size_t>(r.inflight - cfg_.max_running_requests);
+          static_cast<std::size_t>(inflight - cfg_.max_running_requests);
       AIM_CHECK(slot < finishes.size());
       std::nth_element(finishes.begin(), finishes.begin() + slot,
                        finishes.end());
@@ -254,7 +254,7 @@ CompletionResult CostModelLlmClient::complete(
     // Prefill runs as the request's own chunked iterations; its decode
     // joins the replica's shared batch afterwards.
     id = r.timeline.admit(start + prefill, output_tokens, kv_footprint);
-    r.inflight += 1;
+    inflight_[replica_idx] += 1;
   }
 
   // Block until the decode timeline completes the call: sleep to the
@@ -268,7 +268,7 @@ CompletionResult CostModelLlmClient::complete(
     SimTime target = 0;
     bool done = false;
     {
-      std::lock_guard<std::mutex> lock(r.mutex);
+      common::MutexLock lock(r.mutex);
       r.timeline.advance(clock_->now());
       if (r.timeline.finished(id)) {
         done = true;
@@ -278,17 +278,20 @@ CompletionResult CostModelLlmClient::complete(
     }
     if (done) {
       // Reap under both locks so admission's slot math never sees the
-      // timeline entry gone while `inflight` still counts it
-      // (std::scoped_lock acquires deadlock-free).
-      std::scoped_lock locks(route_mutex_, r.mutex);
+      // timeline entry gone while the inflight count still includes it.
+      // Acquired route -> replica explicitly: std::scoped_lock's
+      // deadlock-avoidance may lock in either order, which the lock-order
+      // validator (and a reader tracing the discipline) cannot accept.
+      common::MutexLock route_lock(route_mutex_);
+      common::MutexLock lock(r.mutex);
       finish = r.timeline.take_finish(id);
-      r.inflight -= 1;
+      inflight_[replica_idx] -= 1;
       break;
     }
     clock_->sleep_until(target);
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    common::MutexLock lock(stats_mutex_);
     last_finish_ = std::max(last_finish_, finish);
     calls_ += 1;
   }
@@ -301,19 +304,19 @@ CompletionResult CostModelLlmClient::complete(
 }
 
 std::uint64_t CostModelLlmClient::calls() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  common::MutexLock lock(stats_mutex_);
   return calls_;
 }
 
 SimTime CostModelLlmClient::last_finish() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  common::MutexLock lock(stats_mutex_);
   return last_finish_;
 }
 
 std::int32_t CostModelLlmClient::peak_batch() const {
   std::int32_t peak = 0;
   for (const auto& r : replicas_) {
-    std::lock_guard<std::mutex> lock(r->mutex);
+    common::MutexLock lock(r->mutex);
     peak = std::max(peak, r->timeline.peak_batch());
   }
   return peak;

@@ -31,11 +31,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "llm/client.h"
 #include "llm/cost_model.h"
@@ -165,13 +166,8 @@ class CostModelLlmClient : public LlmClient {
     /// Guards `timeline`. Per-replica, so the frequent per-wake replays
     /// (advance + predict) on one replica never block traffic on
     /// another.
-    std::mutex mutex;
-    /// Calls admitted and not yet reaped by their waiting thread.
-    /// Guarded by the client's route_mutex_ (and mutated only while the
-    /// replica mutex is also held, so admission's slot math sees
-    /// `inflight` and the timeline change together).
-    std::int32_t inflight = 0;
-    DecodeTimeline timeline;
+    common::Mutex mutex{"llm.replica"};
+    DecodeTimeline timeline GUARDED_BY(mutex);
   };
 
   CostModel cost_;
@@ -180,12 +176,18 @@ class CostModelLlmClient : public LlmClient {
 
   /// Serializes routing decisions and inflight bookkeeping (cheap, O(dp)
   /// argmin) so least-loaded routing stays exact. Lock order:
-  /// route_mutex_ before a replica mutex.
-  mutable std::mutex route_mutex_;
+  /// route_mutex_ before a replica mutex — admission and reaping both
+  /// acquire in that order; the AIMETRO_LOCK_DEBUG validator enforces it.
+  mutable common::Mutex route_mutex_{"llm.route"};
   std::vector<std::unique_ptr<ReplicaState>> replicas_;
-  mutable std::mutex stats_mutex_;  // calls_ + last_finish_
-  std::uint64_t calls_ = 0;
-  SimTime last_finish_ = 0;
+  /// inflight_[i]: calls admitted to replica i and not yet reaped by
+  /// their waiting thread. Mutated only while replicas_[i]->mutex is also
+  /// held, so admission's slot math sees the count and the timeline
+  /// change together.
+  std::vector<std::int32_t> inflight_ GUARDED_BY(route_mutex_);
+  mutable common::Mutex stats_mutex_{"llm.stats"};
+  std::uint64_t calls_ GUARDED_BY(stats_mutex_) = 0;
+  SimTime last_finish_ GUARDED_BY(stats_mutex_) = 0;
 };
 
 }  // namespace aimetro::llm

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/strings.h"
 
 namespace aimetro::runtime {
@@ -59,8 +60,8 @@ Engine::~Engine() {
   // In-flight cluster tasks reference this engine; when the pool is
   // external we cannot rely on the pool destructor to join them, so drain
   // explicitly either way.
-  std::unique_lock<std::mutex> lock(commit_mutex_);
-  done_cv_.wait(lock, [&] { return inflight_clusters_ == 0; });
+  common::MutexLock lock(commit_mutex_);
+  while (inflight_clusters_ != 0) done_cv_.wait(commit_mutex_);
 }
 
 void Engine::dispatch_ready_locked() {
@@ -100,7 +101,7 @@ void Engine::execute_cluster(core::AgentCluster cluster) {
       // interleave freely.
       std::vector<std::pair<AgentId, Pos>> moves;
       {
-        std::unique_lock<std::shared_mutex> world_lock(world_->mutex());
+        common::WriterLock world_lock(world_->mutex());
         const auto outcomes =
             world_->resolve_conflict_and_commit(cluster.step, intents);
         world_lock.unlock();
@@ -126,7 +127,7 @@ void Engine::execute_cluster(core::AgentCluster cluster) {
           txn.incr_by("stats:agent_steps",
                       static_cast<std::int64_t>(cluster.members.size()));
           const auto result = txn.exec();
-          std::lock_guard<std::mutex> slock(stats_mutex_);
+          common::MutexLock slock(stats_mutex_);
           ++stats_.kv_transactions;
           if (result == kv::TxnResult::kConflict) ++stats_.kv_conflicts;
         }
@@ -139,7 +140,7 @@ void Engine::execute_cluster(core::AgentCluster cluster) {
       std::uint64_t wait_us = 0;
       std::uint64_t hold_us = 0;
       {
-        std::unique_lock<std::mutex> lock(commit_mutex_);
+        common::MutexLock lock(commit_mutex_);
         const auto acquired = std::chrono::steady_clock::now();
         wait_us = elapsed_us(wait_begin, acquired);
         if (error_ == nullptr) {
@@ -149,7 +150,7 @@ void Engine::execute_cluster(core::AgentCluster cluster) {
         hold_us = elapsed_us(acquired, std::chrono::steady_clock::now());
       }
       {
-        std::lock_guard<std::mutex> slock(stats_mutex_);
+        common::MutexLock slock(stats_mutex_);
         ++stats_.clusters_executed;
         stats_.agent_steps += cluster.members.size();
         ++stats_.commits;
@@ -163,7 +164,7 @@ void Engine::execute_cluster(core::AgentCluster cluster) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(commit_mutex_);
+    common::MutexLock lock(commit_mutex_);
     if (error != nullptr && error_ == nullptr) {
       error_ = error;
       failed_.store(true, std::memory_order_release);
@@ -179,17 +180,17 @@ void Engine::execute_cluster(core::AgentCluster cluster) {
 
 EngineStats Engine::run() {
   {
-    std::unique_lock<std::mutex> lock(commit_mutex_);
+    common::MutexLock lock(commit_mutex_);
     dispatch_ready_locked();
     // Controller: wait until every agent has reached the target (or a
     // task failed) and all in-flight cluster tasks have drained.
-    done_cv_.wait(lock, [&] {
-      return (scoreboard_->all_done() || error_ != nullptr) &&
-             inflight_clusters_ == 0;
-    });
+    while (!((scoreboard_->all_done() || error_ != nullptr) &&
+             inflight_clusters_ == 0)) {
+      done_cv_.wait(commit_mutex_);
+    }
     if (error_ != nullptr) std::rethrow_exception(error_);
   }
-  std::lock_guard<std::mutex> slock(stats_mutex_);
+  common::MutexLock slock(stats_mutex_);
   return stats_;
 }
 

@@ -30,13 +30,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/scoreboard.h"
 #include "kv/store.h"
 #include "runtime/task_pool.h"
@@ -101,18 +101,25 @@ class Engine {
   /// dispatching and drains in-flight work first).
   EngineStats run();
 
-  const core::Scoreboard& scoreboard() const { return *scoreboard_; }
+  /// Post-run inspection only: callers read the scoreboard after run()
+  /// returned (or before it started), when no worker can be mutating it.
+  const core::Scoreboard& scoreboard() const NO_THREAD_SAFETY_ANALYSIS {
+    return *scoreboard_;
+  }
   kv::Store& store() { return store_; }
   const TaskPool& pool() const { return *pool_; }
 
  private:
   void execute_cluster(core::AgentCluster cluster);
-  void dispatch_ready_locked();
+  void dispatch_ready_locked() REQUIRES(commit_mutex_);
 
   world::WorldState* world_;
   EngineConfig config_;
   StepFn step_fn_;
-  std::unique_ptr<core::Scoreboard> scoreboard_;
+  /// The pointer is set once in the constructor; the pointed-to graph is
+  /// mutated only under commit_mutex_ (see scoreboard() for the post-run
+  /// read exception).
+  std::unique_ptr<core::Scoreboard> scoreboard_ PT_GUARDED_BY(commit_mutex_);
   kv::Store store_;
 
   std::unique_ptr<TaskPool> owned_pool_;
@@ -121,15 +128,16 @@ class Engine {
   /// Guards scoreboard_ graph maintenance, dispatch bookkeeping
   /// (inflight_clusters_), and error_. World commits take only the
   /// world's own mutex; the kv mirror uses the store's shard locks.
-  std::mutex commit_mutex_;
-  std::condition_variable done_cv_;
-  std::uint64_t inflight_clusters_ = 0;  // guarded by commit_mutex_
-  std::exception_ptr error_;             // first task failure; stops dispatch
+  common::Mutex commit_mutex_{"engine.commit"};
+  common::CondVar done_cv_;
+  std::uint64_t inflight_clusters_ GUARDED_BY(commit_mutex_) = 0;
+  /// First task failure; stops dispatch.
+  std::exception_ptr error_ GUARDED_BY(commit_mutex_);
   /// Lock-free mirror of `error_ != nullptr` so workers can skip the
   /// world commit on failed runs without touching the commit lock.
   std::atomic<bool> failed_{false};
-  EngineStats stats_;
-  std::mutex stats_mutex_;
+  common::Mutex stats_mutex_{"engine.stats"};
+  EngineStats stats_ GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace aimetro::runtime

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/check.h"
+#include "common/mutex.h"
 
 namespace aimetro::runtime {
 
@@ -31,16 +32,16 @@ struct TaskPool::Handle::State {
   /// losers skip it. This is the entire inline-claiming mechanism.
   std::atomic<bool> claimed{false};
 
-  std::mutex m;
-  std::condition_variable cv;
-  bool done = false;
-  std::exception_ptr error;
+  common::Mutex m{"task_pool.handle"};
+  common::CondVar cv;
+  bool done GUARDED_BY(m) = false;
+  std::exception_ptr error GUARDED_BY(m);
 };
 
 void TaskPool::Handle::wait() const {
   AIM_CHECK_MSG(state_ != nullptr, "wait() on an empty TaskPool::Handle");
-  std::unique_lock<std::mutex> lock(state_->m);
-  state_->cv.wait(lock, [&] { return state_->done; });
+  common::MutexLock lock(state_->m);
+  while (!state_->done) state_->cv.wait(state_->m);
   if (state_->error) std::rethrow_exception(state_->error);
 }
 
@@ -59,10 +60,10 @@ TaskPool::Handle TaskPool::submit(std::int64_t priority, Task fn) {
   auto state = std::make_shared<Handle::State>();
   state->fn = std::move(fn);
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     AIM_CHECK_MSG(!shut_down_, "submit() on a shut-down TaskPool");
     if (max_queued_ > 0 && t_current_pool != this) {
-      space_cv_.wait(lock, [&] { return queued_ < max_queued_ || shut_down_; });
+      while (queued_ >= max_queued_ && !shut_down_) space_cv_.wait(mutex_);
       AIM_CHECK_MSG(!shut_down_, "TaskPool shut down while submit() blocked");
     }
     ++queued_;
@@ -105,13 +106,13 @@ void TaskPool::submit_and_wait(std::vector<Task> tasks,
 }
 
 void TaskPool::wait_idle() const {
-  std::unique_lock<std::mutex> lock(mutex_);
-  idle_cv_.wait(lock, [&] { return in_flight_ == 0; });
+  common::MutexLock lock(mutex_);
+  while (in_flight_ != 0) idle_cv_.wait(mutex_);
 }
 
 void TaskPool::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     shut_down_ = true;
   }
   space_cv_.notify_all();
@@ -122,7 +123,7 @@ void TaskPool::shutdown() {
 }
 
 TaskPoolStats TaskPool::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  common::MutexLock lock(mutex_);
   return stats_;
 }
 
@@ -130,7 +131,7 @@ void TaskPool::worker_loop() {
   CurrentPoolScope scope(this);
   while (std::optional<StatePtr> state = queue_.pop()) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      common::MutexLock lock(mutex_);
       --queued_;
     }
     space_cv_.notify_one();
@@ -148,7 +149,7 @@ bool TaskPool::try_execute(const StatePtr& state, bool inline_run) {
     error = std::current_exception();
   }
   {
-    std::lock_guard<std::mutex> lock(state->m);
+    common::MutexLock lock(state->m);
     state->done = true;
     state->error = error;
   }
@@ -160,7 +161,7 @@ bool TaskPool::try_execute(const StatePtr& state, bool inline_run) {
 void TaskPool::finish_one(bool inline_run) {
   bool idle = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    common::MutexLock lock(mutex_);
     --in_flight_;
     if (inline_run) {
       ++stats_.tasks_inlined;

@@ -31,15 +31,15 @@
 //     work accepted is work executed.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/sync_queue.h"
+#include "common/thread_annotations.h"
 
 namespace aimetro::runtime {
 
@@ -133,17 +133,21 @@ class TaskPool {
   bool try_execute(const StatePtr& state, bool inline_run);
   void finish_one(bool inline_run);
 
+  /// Internally synchronized (its own lock nests inside mutex_ only in
+  /// submit(); workers release it before taking mutex_, so no inversion).
   SyncPriorityQueue<StatePtr, std::int64_t> queue_;
   std::vector<std::thread> threads_;
 
-  mutable std::mutex mutex_;
-  mutable std::condition_variable idle_cv_;
-  std::condition_variable space_cv_;
-  std::size_t max_queued_ = 0;
-  std::size_t queued_ = 0;     // submitted, not yet popped by a worker
-  std::uint64_t in_flight_ = 0;  // submitted, not yet finished
-  TaskPoolStats stats_;
-  bool shut_down_ = false;
+  mutable common::Mutex mutex_{"task_pool"};
+  mutable common::CondVar idle_cv_;
+  common::CondVar space_cv_;
+  std::size_t max_queued_ = 0;  // immutable after construction
+  /// Submitted, not yet popped by a worker.
+  std::size_t queued_ GUARDED_BY(mutex_) = 0;
+  /// Submitted, not yet finished.
+  std::uint64_t in_flight_ GUARDED_BY(mutex_) = 0;
+  TaskPoolStats stats_ GUARDED_BY(mutex_);
+  bool shut_down_ GUARDED_BY(mutex_) = false;
 };
 
 /// Default pool size for a surface that feeds member LLM chains from

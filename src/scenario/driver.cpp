@@ -4,14 +4,13 @@
 #include <chrono>
 #include <cmath>
 #include <memory>
-#include <mutex>
 #include <set>
-#include <shared_mutex>
 #include <unordered_set>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "common/strings.h"
 #include "gym/agents.h"
@@ -546,13 +545,13 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
     const std::int32_t n_days =
         (tr.start_step + tr.n_steps - 1) / spec_.steps_per_day - first_day + 1;
     std::vector<double> day_finish(static_cast<std::size_t>(n_days), 0.0);
-    std::mutex day_finish_mutex;
+    common::Mutex day_finish_mutex{"scenario.day_finish"};
     auto note_chain_done = [&](Step abs_step) {
       if (spec_.days <= 1) return;
       const double elapsed = llm_stack.completion_seconds();
       const auto d =
           static_cast<std::size_t>(abs_step / spec_.steps_per_day - first_day);
-      std::lock_guard<std::mutex> lock(day_finish_mutex);
+      common::MutexLock lock(day_finish_mutex);
       day_finish[d] = std::max(day_finish[d], elapsed);
     };
 
@@ -596,7 +595,7 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
       for (AgentId m : cluster.members) {
         Tile current;
         {
-          std::shared_lock<std::shared_mutex> lock(w.mutex());
+          common::ReaderLock lock(w.mutex());
           current = w.tile_of(m);
         }
         const Tile want = tr.position_at(m, abs_step + 1);
@@ -627,7 +626,12 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
                           engine.scoreboard().pos_of(a));
     }
     out.digest = digest_states(states);
-    out.world_hash = world.state_hash();
+    {
+      // The engine has drained, but the digest read still follows the
+      // protocol: state_hash requires the world lock.
+      common::ReaderLock lock(world.mutex());
+      out.world_hash = world.state_hash();
+    }
     out.scoreboard = engine.scoreboard().stats();
     out.mean_blockers = engine.scoreboard().mean_blockers();
     return out;

@@ -12,6 +12,7 @@ namespace aimetro::world {
 WorldState::WorldState(const GridMap* map, std::vector<Tile> initial_tiles)
     : map_(map), tiles_(std::move(initial_tiles)), index_(8.0) {
   AIM_CHECK(map_ != nullptr);
+  agent_count_ = tiles_.size();
   for (std::size_t i = 0; i < tiles_.size(); ++i) {
     AIM_CHECK_MSG(map_->in_bounds(tiles_[i]),
                   "agent " << i << " starts out of bounds");

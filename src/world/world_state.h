@@ -6,11 +6,12 @@
 
 #include <cstdint>
 #include <optional>
-#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "world/grid_map.h"
 #include "world/spatial_index.h"
@@ -47,12 +48,16 @@ class WorldState {
   WorldState(const GridMap* map, std::vector<Tile> initial_tiles);
 
   const GridMap& map() const { return *map_; }
-  std::size_t agent_count() const { return tiles_.size(); }
+  /// Fixed at construction (agents are never added or removed), so no lock
+  /// is needed to read it.
+  std::size_t agent_count() const { return agent_count_; }
 
-  Tile tile_of(AgentId id) const;
-  Pos pos_of(AgentId id) const { return tile_of(id).center(); }
+  Tile tile_of(AgentId id) const REQUIRES_SHARED(mutex_);
+  Pos pos_of(AgentId id) const REQUIRES_SHARED(mutex_) {
+    return tile_of(id).center();
+  }
   /// Direct position write (used by trace replay where movement is given).
-  void set_tile(AgentId id, Tile t);
+  void set_tile(AgentId id, Tile t) REQUIRES(mutex_);
 
   /// Apply a batch of intents from one cluster atomically with
   /// deterministic conflict resolution:
@@ -61,36 +66,45 @@ class WorldState {
   ///  - object claims: lowest id wins, object becomes occupied this step.
   /// Events are appended to the event log.
   std::vector<StepOutcome> resolve_conflict_and_commit(
-      Step step, const std::vector<StepIntent>& intents);
+      Step step, const std::vector<StepIntent>& intents) REQUIRES(mutex_);
 
   /// Agents within Euclidean `radius` of `center` (sorted by id).
-  std::vector<AgentId> agents_within(Pos center, double radius) const;
+  std::vector<AgentId> agents_within(Pos center, double radius) const
+      REQUIRES_SHARED(mutex_);
 
   /// Events within `radius` of `center` emitted at steps in
   /// [min_step, max_step].
   std::vector<WorldEvent> events_near(Pos center, double radius, Step min_step,
-                                      Step max_step) const;
+                                      Step max_step) const
+      REQUIRES_SHARED(mutex_);
 
-  const std::string* object_holder(const std::string& object) const;
-  std::size_t event_count() const { return events_.size(); }
+  const std::string* object_holder(const std::string& object) const
+      REQUIRES_SHARED(mutex_);
+  std::size_t event_count() const REQUIRES_SHARED(mutex_) {
+    return events_.size();
+  }
 
   /// Order-insensitive digest over agent positions + object occupancy +
   /// event log; equal digests across two runs mean the simulations agree.
-  std::uint64_t state_hash() const;
+  std::uint64_t state_hash() const REQUIRES_SHARED(mutex_);
 
   /// Concurrency protocol for the threaded runtime: readers (observation
-  /// building) take shared locks, resolve_conflict_and_commit callers take
-  /// the unique lock. WorldState itself does not lock — callers do —
-  /// so single-threaded users pay nothing.
-  std::shared_mutex& mutex() const { return mutex_; }
+  /// building) take ReaderLock, resolve_conflict_and_commit callers take
+  /// WriterLock. WorldState itself does not lock — callers do — so
+  /// single-threaded users pay one uncontended acquisition at most.
+  common::SharedMutex& mutex() const RETURN_CAPABILITY(mutex_) {
+    return mutex_;
+  }
 
  private:
-  mutable std::shared_mutex mutex_;
+  mutable common::SharedMutex mutex_{"world"};
   const GridMap* map_;
-  std::vector<Tile> tiles_;
-  SpatialIndex index_;
-  std::unordered_map<std::string, std::string> object_holders_;
-  std::vector<WorldEvent> events_;
+  std::size_t agent_count_ = 0;  // immutable after construction
+  std::vector<Tile> tiles_ GUARDED_BY(mutex_);
+  SpatialIndex index_ GUARDED_BY(mutex_);
+  std::unordered_map<std::string, std::string> object_holders_
+      GUARDED_BY(mutex_);
+  std::vector<WorldEvent> events_ GUARDED_BY(mutex_);
 };
 
 }  // namespace aimetro::world

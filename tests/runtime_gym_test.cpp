@@ -2,10 +2,10 @@
 
 #include <atomic>
 #include <memory>
-#include <shared_mutex>
 #include <stdexcept>
 
 #include "common/check.h"
+#include "common/mutex.h"
 #include "gym/agents.h"
 #include "gym/env.h"
 #include "llm/client.h"
@@ -165,7 +165,7 @@ TEST(Runtime, EngineRunsOnAnExternalTaskPool) {
         obs.self = m;
         obs.step = cluster.step;
         {
-          std::shared_lock<std::shared_mutex> lock(w.mutex());
+          aimetro::common::ReaderLock lock(w.mutex());
           obs.position = w.tile_of(m);
         }
         obs.map = &map;
@@ -267,7 +267,7 @@ TEST(Runtime, KvMirrorsFinalWorldState) {
       obs.self = m;
       obs.step = cluster.step;
       {
-        std::shared_lock<std::shared_mutex> lock(w.mutex());
+        aimetro::common::ReaderLock lock(w.mutex());
         obs.position = w.tile_of(m);
       }
       obs.map = &map;
@@ -329,7 +329,7 @@ TEST(Runtime, ShardedCommitsRunConcurrentlyAndReportContention) {
       obs.self = m;
       obs.step = cluster.step;
       {
-        std::shared_lock<std::shared_mutex> lock(w.mutex());
+        aimetro::common::ReaderLock lock(w.mutex());
         obs.position = w.tile_of(m);
       }
       obs.map = &map;

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Run clang-tidy (configuration: .clang-tidy at the repo root) over every
+# translation unit in src/, using the compilation database of the given
+# build directory.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir]
+#
+# The build directory must have been configured with CMake (the project
+# exports compile_commands.json unconditionally). Exits non-zero if any
+# WarningsAsErrors category fires.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-build}"
+case "$build_dir" in
+  /*) ;;
+  *) build_dir="$repo_root/$build_dir" ;;
+esac
+
+if [ ! -f "$build_dir/compile_commands.json" ]; then
+  echo "error: $build_dir/compile_commands.json not found." >&2
+  echo "Configure first: cmake -B $build_dir -S $repo_root" >&2
+  exit 1
+fi
+
+cd "$repo_root"
+mapfile -t sources < <(find src -name '*.cpp' | sort)
+echo "clang-tidy over ${#sources[@]} files (database: $build_dir)"
+
+# run-clang-tidy parallelizes across TUs when available.
+if command -v run-clang-tidy >/dev/null 2>&1; then
+  run-clang-tidy -p "$build_dir" -quiet "${sources[@]}"
+else
+  clang-tidy -p "$build_dir" --quiet "${sources[@]}"
+fi
