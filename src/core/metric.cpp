@@ -1,44 +1,63 @@
 #include "core/metric.h"
 
-#include <queue>
+#include <utility>
 
 #include "common/check.h"
 
 namespace aimetro::core {
 
-GraphMetric::GraphMetric(
-    const std::vector<std::vector<std::int32_t>>& adjacency)
-    : n_(static_cast<std::int32_t>(adjacency.size())) {
+GraphMetric::GraphMetric(std::vector<std::vector<std::int32_t>> adjacency)
+    : n_(static_cast<std::int32_t>(adjacency.size())),
+      adjacency_(std::move(adjacency)) {
   AIM_CHECK(n_ > 0);
-  dist_.assign(static_cast<std::size_t>(n_),
-               std::vector<double>(static_cast<std::size_t>(n_),
-                                   kDisconnected));
-  // All-pairs BFS; graphs here are small (hundreds of nodes).
-  for (std::int32_t src = 0; src < n_; ++src) {
-    auto& row = dist_[static_cast<std::size_t>(src)];
-    row[static_cast<std::size_t>(src)] = 0.0;
-    std::queue<std::int32_t> q;
-    q.push(src);
-    while (!q.empty()) {
-      const std::int32_t u = q.front();
-      q.pop();
-      for (std::int32_t v : adjacency[static_cast<std::size_t>(u)]) {
-        AIM_CHECK(v >= 0 && v < n_);
-        if (row[static_cast<std::size_t>(v)] >= kDisconnected) {
-          row[static_cast<std::size_t>(v)] =
-              row[static_cast<std::size_t>(u)] + 1.0;
-          q.push(v);
-        }
-      }
-    }
+  // A shortest path visits each node at most once, so any connected
+  // distance fits in a Depth as long as the node count does.
+  AIM_CHECK_MSG(static_cast<std::uint64_t>(n_) < kUnreached,
+                "graph too large for BFS depth labels");
+  for (const auto& neighbors : adjacency_) {
+    for (std::int32_t v : neighbors) AIM_CHECK(v >= 0 && v < n_);
   }
+}
+
+GraphMetric::BfsRow& GraphMetric::row_for(std::int32_t src) const {
+  auto it = rows_.find(src);
+  if (it != rows_.end()) return it->second;
+  if (rows_.size() >= max_cached_rows()) rows_.clear();
+  BfsRow& row = rows_[src];
+  row.dist.assign(static_cast<std::size_t>(n_), kUnreached);
+  row.dist[static_cast<std::size_t>(src)] = 0;
+  row.frontier.push_back(src);
+  return row;
 }
 
 double GraphMetric::distance(const Pos& a, const Pos& b) const {
   const auto ia = static_cast<std::int32_t>(a.x);
   const auto ib = static_cast<std::int32_t>(b.x);
   AIM_CHECK(ia >= 0 && ia < n_ && ib >= 0 && ib < n_);
-  return dist_[static_cast<std::size_t>(ia)][static_cast<std::size_t>(ib)];
+  if (ia == ib) return 0.0;
+  common::MutexLock lock(cache_mutex_);
+  BfsRow& row = row_for(ia);
+  // Expand the row one BFS level at a time until the target is labeled or
+  // the component is exhausted. Scoreboard candidates come from hop-ball
+  // probes a few levels deep, so in steady state this loop body never runs.
+  std::vector<std::int32_t> next;
+  while (row.dist[static_cast<std::size_t>(ib)] == kUnreached &&
+         !row.frontier.empty()) {
+    next.clear();
+    const Depth depth = row.depth_done + 1;
+    for (std::int32_t u : row.frontier) {
+      for (std::int32_t v : adjacency_[static_cast<std::size_t>(u)]) {
+        if (row.dist[static_cast<std::size_t>(v)] == kUnreached) {
+          row.dist[static_cast<std::size_t>(v)] = depth;
+          next.push_back(v);
+        }
+      }
+    }
+    row.frontier.swap(next);
+    row.depth_done = depth;
+  }
+  const Depth d = row.dist[static_cast<std::size_t>(ib)];
+  return d == kUnreached ? kDisconnected : static_cast<double>(d);
 }
 
 std::shared_ptr<const Metric> make_euclidean() {

@@ -9,10 +9,14 @@
 // changing one's neighborhood by a bounded amount per step.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/types.h"
 
 namespace aimetro::core {
@@ -28,8 +32,20 @@ class Metric {
   /// ball of radius r. This is the property that lets the scoreboard
   /// answer "who is within r of a" with a world::SpatialIndex box probe;
   /// metrics without it (GraphMetric: positions encode node ids, not
-  /// coordinates) fall back to the full scan.
+  /// coordinates) use the graph index below, or fall back to full scans.
   virtual bool lower_bounded_by_chebyshev() const { return false; }
+
+  /// Non-null when this metric is hop count over a fixed undirected graph
+  /// whose positions encode node ids in `Pos::x`. The scoreboard uses the
+  /// adjacency to build a world::GraphIndex and answer "who is within r of
+  /// a" with a hop-bounded BFS ball probe (hop distances are integral, so
+  /// the depth-floor(r) ball IS the metric ball — see "Dependency core" in
+  /// docs/ARCHITECTURE.md). The pointer must stay valid for the metric's
+  /// lifetime.
+  virtual const std::vector<std::vector<std::int32_t>>* graph_adjacency()
+      const {
+    return nullptr;
+  }
 };
 
 class EuclideanMetric final : public Metric {
@@ -62,20 +78,64 @@ class ChebyshevMetric final : public Metric {
 /// Hop-count metric over a fixed undirected graph (e.g. a social network).
 /// Positions encode node ids in `Pos::x` (y ignored). Distances between
 /// disconnected nodes are a large finite value so every pair is comparable.
+///
+/// Distances come from per-source BFS rows expanded lazily, level by
+/// level, only until the queried target is labeled: scoreboard queries ask
+/// about candidates a few hops out, so rows stay partially expanded and a
+/// 10k-node world never materializes the all-pairs table (which would be
+/// O(N^2) memory). Rows are cached up to a bounded budget and rebuilt on
+/// demand after a flush. Thread-safe: the cache sits behind its own lock
+/// (uncontended in practice — both backends call the metric under their
+/// scheduling locks).
 class GraphMetric final : public Metric {
  public:
-  /// `adjacency[i]` lists the neighbors of node i.
-  explicit GraphMetric(const std::vector<std::vector<std::int32_t>>& adjacency);
+  /// `adjacency[i]` lists the neighbors of node i (undirected: j in
+  /// adjacency[i] must imply i in adjacency[j] for distances to be
+  /// symmetric).
+  explicit GraphMetric(std::vector<std::vector<std::int32_t>> adjacency);
 
   double distance(const Pos& a, const Pos& b) const override;
   std::string name() const override { return "graph"; }
+  const std::vector<std::vector<std::int32_t>>* graph_adjacency()
+      const override {
+    return &adjacency_;
+  }
 
   std::int32_t node_count() const { return n_; }
   static constexpr double kDisconnected = 1e9;
 
  private:
+  /// BFS depth label. 32 bits: a shortest path visits each node at most
+  /// once, so any node count an int32 id can address fits (social_net10000
+  /// runs a 200k-node graph, which overflowed the original uint16 labels).
+  using Depth = std::uint32_t;
+
+  /// One source's BFS state: hop distances for labeled nodes, the frontier
+  /// at depth `depth_done`, expandable one level at a time.
+  struct BfsRow {
+    std::vector<Depth> dist;             // kUnreached until labeled
+    std::vector<std::int32_t> frontier;  // nodes at depth == depth_done
+    Depth depth_done = 0;
+  };
+  static constexpr Depth kUnreached = 0xFFFFFFFFu;
+  /// Cache flush budget in row bytes (~32 MB): at 10k nodes that is ~800
+  /// rows, at 200k nodes ~40 — the cache is rebuilt from scratch when the
+  /// budget is hit, never grown past it.
+  static constexpr std::size_t kMaxCachedRowBytes = 32u << 20;
+
+  std::size_t max_cached_rows() const {
+    const std::size_t row_bytes =
+        static_cast<std::size_t>(n_) * sizeof(Depth);
+    return std::max<std::size_t>(1, kMaxCachedRowBytes / row_bytes);
+  }
+
+  BfsRow& row_for(std::int32_t src) const REQUIRES(cache_mutex_);
+
   std::int32_t n_;
-  std::vector<std::vector<double>> dist_;  // all-pairs BFS hop counts
+  std::vector<std::vector<std::int32_t>> adjacency_;
+  mutable common::Mutex cache_mutex_{"metric.graph"};
+  mutable std::unordered_map<std::int32_t, BfsRow> rows_
+      GUARDED_BY(cache_mutex_);
 };
 
 std::shared_ptr<const Metric> make_euclidean();

@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "world/graph_index.h"
 #include "world/spatial_index.h"
 
 namespace aimetro::core {
@@ -64,23 +65,46 @@ OracleDependencies mine_oracle(const trace::SimulationTrace& trace) {
     explicit_by[in.step - trace.start_step].push_back(&in);
   }
 
+  const bool graph = trace.world_kind == trace::WorldKind::kGraph;
   const auto n = static_cast<std::size_t>(trace.n_agents);
+  std::vector<AgentId> ball;
   for (Step rel = 0; rel < trace.n_steps; ++rel) {
     UnionFind uf(n);
-    // Observation proximity at the start of the step.
-    world::SpatialIndex index(std::max(4.0, trace.radius_p));
-    for (std::size_t i = 0; i < n; ++i) {
-      index.insert(static_cast<AgentId>(i),
-                   trace.agents[i]
-                       .positions[static_cast<std::size_t>(rel)]
-                       .center());
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      const Pos p =
-          trace.agents[i].positions[static_cast<std::size_t>(rel)].center();
-      for (AgentId j : index.query_radius(p, trace.radius_p)) {
-        if (static_cast<std::size_t>(j) > i) {
-          uf.unite(i, static_cast<std::size_t>(j));
+    // Observation proximity at the start of the step: Euclidean tile
+    // distance on grids, hop distance over the social graph otherwise.
+    if (graph) {
+      world::GraphIndex index(&trace.graph_adjacency);
+      for (std::size_t i = 0; i < n; ++i) {
+        index.insert(static_cast<AgentId>(i),
+                     trace.agents[i]
+                         .positions[static_cast<std::size_t>(rel)]
+                         .center());
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const Pos p =
+            trace.agents[i].positions[static_cast<std::size_t>(rel)].center();
+        index.query_ball_into(p, trace.radius_p, &ball);
+        for (AgentId j : ball) {
+          if (static_cast<std::size_t>(j) > i) {
+            uf.unite(i, static_cast<std::size_t>(j));
+          }
+        }
+      }
+    } else {
+      world::SpatialIndex index(std::max(4.0, trace.radius_p));
+      for (std::size_t i = 0; i < n; ++i) {
+        index.insert(static_cast<AgentId>(i),
+                     trace.agents[i]
+                         .positions[static_cast<std::size_t>(rel)]
+                         .center());
+      }
+      for (std::size_t i = 0; i < n; ++i) {
+        const Pos p =
+            trace.agents[i].positions[static_cast<std::size_t>(rel)].center();
+        for (AgentId j : index.query_radius(p, trace.radius_p)) {
+          if (static_cast<std::size_t>(j) > i) {
+            uf.unite(i, static_cast<std::size_t>(j));
+          }
         }
       }
     }

@@ -36,6 +36,16 @@ Scoreboard::Scoreboard(DependencyParams params,
                 "(AIMETRO_SCOREBOARD_NO_BRUTE)");
 #endif
   indexable_ = metric_->lower_bounded_by_chebyshev();
+  if (mode_ == ScanMode::kIndexed && !indexable_) {
+    // Graph metrics can't be probed with Chebyshev boxes, but they expose
+    // their adjacency: live agents go into a GraphIndex instead, and every
+    // probe site walks a hop-bounded ball (an exact metric ball — hop
+    // distances are integral). A metric with neither property runs the
+    // full-scan path even in indexed mode.
+    if (const auto* adjacency = metric_->graph_adjacency()) {
+      graph_live_index_ = std::make_unique<world::GraphIndex>(adjacency);
+    }
+  }
   agents_.resize(initial_positions.size());
   for (std::size_t i = 0; i < agents_.size(); ++i) {
     agents_[i].pos = initial_positions[i];
@@ -46,13 +56,17 @@ Scoreboard::Scoreboard(DependencyParams params,
   }
   if (target_step_ == 0) return;
   live_steps_[0] = static_cast<std::int32_t>(agents_.size());
-  if (use_index()) {
+  if (use_index() || use_graph_index()) {
     std::vector<std::pair<AgentId, Pos>> items;
     items.reserve(agents_.size());
     for (std::size_t i = 0; i < agents_.size(); ++i) {
       items.emplace_back(static_cast<AgentId>(i), agents_[i].pos);
     }
-    live_index_.bulk_insert(items);
+    if (use_index()) {
+      live_index_.bulk_insert(items);
+    } else {
+      graph_live_index_->bulk_insert(items);
+    }
   }
   // Initial edges and clustering: everyone idle at step 0, so there are no
   // blockers (no lower step, nobody running); only coupling applies. The
@@ -81,9 +95,8 @@ Scoreboard::Scoreboard(DependencyParams params,
           frontier.push_back(v);
         }
       };
-      if (use_index()) {
-        live_index_.query_box_into(agent(u).pos, params_.coupling_radius(),
-                                   &probe_buf_);
+      if (use_index() || use_graph_index()) {
+        probe_into(agent(u).pos, params_.coupling_radius());
         for (AgentId v : probe_buf_) consider(v);
       } else {
         for (std::size_t j = 0; j < agents_.size(); ++j) {
@@ -104,6 +117,14 @@ Scoreboard::AgentNode& Scoreboard::agent(AgentId id) {
 const Scoreboard::AgentNode& Scoreboard::agent(AgentId id) const {
   AIM_CHECK(id >= 0 && static_cast<std::size_t>(id) < agents_.size());
   return agents_[static_cast<std::size_t>(id)];
+}
+
+void Scoreboard::probe_into(const Pos& center, double radius) {
+  if (use_index()) {
+    live_index_.query_box_into(center, radius, &probe_buf_);
+  } else {
+    graph_live_index_->query_ball_into(center, radius, &probe_buf_);
+  }
 }
 
 Step Scoreboard::min_live_step() const {
@@ -152,11 +173,12 @@ void Scoreboard::remove_edge(AgentId blocker, AgentId blocked) {
 
 void Scoreboard::recompute_blockers(AgentId id) {
   AgentNode& node = agent(id);
-  // Drop all existing incoming edges, then rebuild. Indexed mode probes a
-  // Chebyshev box of the largest radius any live agent could block from:
-  // blocking_radius(own step - min live step). Any blocker B at lag L
-  // satisfies dist <= blocking_radius(L) <= blocking_radius(max lag), and
-  // every such metric ball is inside the box (metric >= chebyshev), so
+  // Drop all existing incoming edges, then rebuild. Indexed mode probes
+  // the largest radius any live agent could block from: blocking_radius(
+  // own step - min live step). Any blocker B at lag L satisfies dist <=
+  // blocking_radius(L) <= blocking_radius(max lag), and every such metric
+  // ball is inside the probe — a Chebyshev box for metrics with the
+  // Chebyshev lower bound, a hop-bounded BFS ball for graph metrics — so
   // the probe is a superset of the brute-force candidate set. Candidates
   // arrive sorted by id — the same order the full scan visits them — so
   // edge bookkeeping is byte-identical (see docs/ARCHITECTURE.md,
@@ -178,11 +200,10 @@ void Scoreboard::recompute_blockers(AgentId id) {
       ++found;
     }
   };
-  if (use_index()) {
+  if (use_index() || use_graph_index()) {
     const Step max_lag = node.step - min_live_step();
     AIM_CHECK(max_lag >= 0);
-    live_index_.query_box_into(node.pos, params_.blocking_radius(max_lag),
-                               &probe_buf_);
+    probe_into(node.pos, params_.blocking_radius(max_lag));
     for (AgentId b : probe_buf_) consider(b);
   } else {
     for (std::size_t j = 0; j < agents_.size(); ++j) {
@@ -229,9 +250,8 @@ void Scoreboard::cluster_in(AgentId id) {
       neighbors_clusters.insert(o.cluster);
     }
   };
-  if (use_index()) {
-    live_index_.query_box_into(node.pos, params_.coupling_radius(),
-                               &probe_buf_);
+  if (use_index() || use_graph_index()) {
+    probe_into(node.pos, params_.coupling_radius());
     for (AgentId other : probe_buf_) consider(other);
   } else {
     for (AgentId other : idle_by_step_.at(node.step)) consider(other);
@@ -329,9 +349,11 @@ void Scoreboard::commit(const std::vector<std::pair<AgentId, Pos>>& moves) {
       node.status = AgentStatus::kDone;
       ++done_count_;
       if (use_index()) live_index_.remove(id);
+      if (use_graph_index()) graph_live_index_->remove(id);
     } else {
       node.status = AgentStatus::kIdle;
       if (use_index()) live_index_.update(id, pos);
+      if (use_graph_index()) graph_live_index_->update(id, pos);
     }
   }
   // Phase 2: re-examine relationships. Outgoing edges of committed agents
@@ -434,9 +456,17 @@ void Scoreboard::check_invariants() const {
       AIM_CHECK_MSG(live_index_.position(id) == node.pos,
                     "index position drift for agent " << id);
     }
+    if (use_graph_index()) {
+      const auto id = static_cast<AgentId>(i);
+      AIM_CHECK_MSG(graph_live_index_->contains(id),
+                    "live agent " << id << " missing from the graph index");
+      AIM_CHECK_MSG(graph_live_index_->position(id) == node.pos,
+                    "graph-index position drift for agent " << id);
+    }
   }
   AIM_CHECK_MSG(expected_live == live_steps_, "live-step count drift");
   if (use_index()) AIM_CHECK(live_index_.size() == live);
+  if (use_graph_index()) AIM_CHECK(graph_live_index_->size() == live);
 }
 
 std::string Scoreboard::to_dot() const {

@@ -19,9 +19,11 @@
 // dispatchable until every agent reaches `target_step`.
 //
 // Internally the scoreboard keeps every live (non-done) agent in a
-// world::SpatialIndex, so blocker recomputation and idle clustering are
-// local box probes rather than full scans — see "Dependency core" in
-// docs/ARCHITECTURE.md for the index structure and the radius math. A
+// neighbor index, so blocker recomputation and idle clustering are local
+// probes rather than full scans: Chebyshev-bounded metrics use a
+// world::SpatialIndex (box probes), graph metrics use a world::GraphIndex
+// (hop-bounded BFS ball probes) — see "Dependency core" in
+// docs/ARCHITECTURE.md for the index structures and the radius math. A
 // brute-force full-scan reference path is retained for differential
 // testing (ScanMode::kBruteForce); define AIMETRO_SCOREBOARD_NO_BRUTE to
 // compile it out.
@@ -39,6 +41,7 @@
 #include "common/types.h"
 #include "core/dependency_rules.h"
 #include "core/metric.h"
+#include "world/graph_index.h"
 #include "world/spatial_index.h"
 
 namespace aimetro::core {
@@ -53,10 +56,12 @@ enum class AgentStatus : std::uint8_t { kIdle, kRunning, kDone };
 
 /// How the scoreboard finds "relevant" agents when recomputing edges and
 /// clusters.
-///  - kIndexed: spatial-index box probes bounded by the live lag spread
-///    (near-O(1) per commit at the paper's sparsity). Metrics without the
-///    Chebyshev lower bound (GraphMetric) silently fall back to full
-///    scans — results are identical either way.
+///  - kIndexed: index probes bounded by the live lag spread (near-O(1)
+///    per commit at the paper's sparsity). Metrics with the Chebyshev
+///    lower bound probe spatial-index boxes; graph metrics (those
+///    exposing an adjacency) probe hop-bounded GraphIndex balls. A metric
+///    with neither property silently falls back to full scans — results
+///    are identical in every case.
 ///  - kBruteForce: the historical O(n) full scan; the reference
 ///    implementation for differential tests and benchmarks. Compiled out
 ///    when AIMETRO_SCOREBOARD_NO_BRUTE is defined.
@@ -99,6 +104,10 @@ class Scoreboard {
   std::size_t agent_count() const { return agents_.size(); }
   Step target_step() const { return target_step_; }
   ScanMode scan_mode() const { return mode_; }
+  /// True when kIndexed probes are answered by the hop-bounded graph
+  /// index (non-Chebyshev metric exposing a graph adjacency) rather than
+  /// the spatial box index. False in brute mode either way.
+  bool use_graph_index() const { return graph_live_index_ != nullptr; }
   bool all_done() const { return done_count_ == agents_.size(); }
   Step step_of(AgentId id) const { return agent(id).step; }
   Pos pos_of(AgentId id) const { return agent(id).pos; }
@@ -146,6 +155,10 @@ class Scoreboard {
   const AgentNode& agent(AgentId id) const;
 
   bool use_index() const { return mode_ == ScanMode::kIndexed && indexable_; }
+  /// Fill probe_buf_ with every live agent whose metric distance from
+  /// `center` could be <= radius (sorted by id; exact predicates applied
+  /// by the caller). Requires use_index() or use_graph_index().
+  void probe_into(const Pos& center, double radius);
   /// Smallest step among live (non-done) agents; target_step when all
   /// done. The tight bound for the blocking-radius box probe.
   Step min_live_step() const;
@@ -179,6 +192,10 @@ class Scoreboard {
   /// Live (non-done) agents keyed by position — the probe structure for
   /// recompute_blockers / cluster_in. Maintained only when use_index().
   world::SpatialIndex live_index_;
+  /// The graph-metric sibling of live_index_: live agents bucketed by
+  /// graph node, probed with hop-bounded BFS balls. Non-null exactly when
+  /// mode is kIndexed and the metric exposes an adjacency.
+  std::unique_ptr<world::GraphIndex> graph_live_index_;
   /// Live agents per step; begin() is min_live_step. Maintained in every
   /// mode: min_step() and the radius bound read it.
   std::map<Step, std::int32_t> live_steps_;

@@ -217,8 +217,14 @@ class Executor {
       initial.push_back(trace_.position_at(a, trace_.start_step).center());
     }
     core::DependencyParams params{trace_.radius_p, trace_.max_vel};
+    // Graph traces measure distance in hops over the trace's social graph;
+    // grid traces keep the historical Euclidean model.
+    std::shared_ptr<const core::Metric> metric =
+        trace_.world_kind == trace::WorldKind::kGraph
+            ? std::make_shared<core::GraphMetric>(trace_.graph_adjacency)
+            : core::make_euclidean();
     scoreboard_ = std::make_unique<core::Scoreboard>(
-        params, core::make_euclidean(), std::move(initial), trace_.n_steps,
+        params, std::move(metric), std::move(initial), trace_.n_steps,
         cfg_.scan_mode);
     metropolis_dispatch();
   }

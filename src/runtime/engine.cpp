@@ -43,8 +43,9 @@ Engine::Engine(world::WorldState* world, EngineConfig config, StepFn step_fn)
     initial.push_back(world_->pos_of(static_cast<AgentId>(i)));
   }
   scoreboard_ = std::make_unique<core::Scoreboard>(
-      config_.params, core::make_euclidean(), std::move(initial),
-      config_.target_step, config_.scan_mode);
+      config_.params,
+      config_.metric ? config_.metric : core::make_euclidean(),
+      std::move(initial), config_.target_step, config_.scan_mode);
   if (config_.kv_instrumentation) {
     for (std::size_t i = 0; i < world_->agent_count(); ++i) {
       const Tile t = world_->tile_of(static_cast<AgentId>(i));

@@ -52,6 +52,10 @@ struct EngineConfig {
   /// default; kBruteForce is the full-scan reference path for
   /// differential testing).
   core::ScanMode scan_mode = core::ScanMode::kIndexed;
+  /// Distance model for the dependency rules. Null = Euclidean (the
+  /// historical default). Graph worlds pass a core::GraphMetric here so
+  /// the scoreboard measures hops; must outlive the engine.
+  std::shared_ptr<const core::Metric> metric;
   /// Mirror agent state and an instrumentation stream into the kv store.
   bool kv_instrumentation = true;
   /// Run cluster tasks on an externally owned pool instead of a private

@@ -13,6 +13,7 @@
 #include "common/mutex.h"
 #include "common/rng.h"
 #include "common/strings.h"
+#include "core/metric.h"
 #include "gym/agents.h"
 #include "gym/env.h"
 #include "llm/client.h"
@@ -22,6 +23,7 @@
 #include "runtime/sim_clock.h"
 #include "runtime/task_pool.h"
 #include "trace/generator.h"
+#include "world/social_graph.h"
 #include "world/world_state.h"
 
 namespace aimetro::scenario {
@@ -327,10 +329,18 @@ world::GridMap ScenarioDriver::build_map() const {
 trace::SimulationTrace ScenarioDriver::build_trace() const {
   AIM_CHECK_MSG(spec_.map != MapKind::kArena,
                 "arena maps have no generated trace");
-  const world::GridMap segment = segment_map(spec_);
   const trace::GeneratorConfig cfg = generator_config(spec_, assigned_profiles_);
-  trace::SimulationTrace full = trace::generate_concatenated(
-      segment, segment_agent_counts(spec_.agents, spec_.segments), cfg);
+  trace::SimulationTrace full;
+  if (spec_.world == WorldKind::kGraph) {
+    full = trace::generate_social_graph(
+        world::newman_watts_graph(spec_.graph_nodes, spec_.graph_degree,
+                                  spec_.graph_rewire, spec_.seed),
+        cfg);
+  } else {
+    const world::GridMap segment = segment_map(spec_);
+    full = trace::generate_concatenated(
+        segment, segment_agent_counts(spec_.agents, spec_.segments), cfg);
+  }
   AIM_CHECK_MSG(full.n_agents == spec_.agents,
                 "segment split lost agents: " << full.n_agents << " vs "
                                               << spec_.agents);
@@ -475,8 +485,15 @@ ScenarioReport ScenarioDriver::run_des(bool serial_baseline) const {
 }
 
 ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
-  const world::GridMap map = build_map();
+  const bool graph = spec_.world == WorldKind::kGraph;
+  // Graph worlds stand on a node-count-by-1 substrate map (bounds checks
+  // only); the dependency metric measures hops over the trace's graph.
+  const world::GridMap map =
+      graph ? world::GridMap(spec_.graph_nodes, 1) : build_map();
   const trace::SimulationTrace tr = build_trace();
+  const std::shared_ptr<const core::Metric> metric =
+      graph ? std::make_shared<core::GraphMetric>(tr.graph_adjacency)
+            : nullptr;
 
   std::vector<trace::StepCalls> chains(
       static_cast<std::size_t>(tr.n_agents));
@@ -513,7 +530,8 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
     for (AgentId a = 0; a < tr.n_agents; ++a) {
       starts.push_back(tr.position_at(a, tr.start_step));
     }
-    world::WorldState world(&map, std::move(starts));
+    world::WorldState world(&map, std::move(starts),
+                            graph ? &tr.graph_adjacency : nullptr);
 
     runtime::EngineConfig ecfg;
     ecfg.params = core::DependencyParams{spec_.radius_p, spec_.max_vel};
@@ -521,6 +539,7 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
     ecfg.n_workers = workers;
     ecfg.scan_mode = scan_mode_of(spec_);
     ecfg.kv_instrumentation = false;
+    ecfg.metric = metric;  // null = Euclidean
 
     // One agent's traced calls for a step, issued in chain order (calls
     // within a chain are serial by definition).
@@ -599,7 +618,9 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
           current = w.tile_of(m);
         }
         const Tile want = tr.position_at(m, abs_step + 1);
-        const Tile next = step_toward(map, current, want);
+        // Graph traces already move one hop per step, so the target is
+        // directly reachable; grid traces may need axis decomposition.
+        const Tile next = graph ? want : step_toward(map, current, want);
         world::StepIntent intent;
         intent.agent = m;
         if (!(next == current)) intent.move_to = next;

@@ -54,6 +54,22 @@ std::optional<MapKind> map_kind_from_name(const std::string& name) {
   return std::nullopt;
 }
 
+const char* world_name(WorldKind w) {
+  switch (w) {
+    case WorldKind::kGrid:
+      return "grid";
+    case WorldKind::kGraph:
+      return "graph";
+  }
+  return "?";
+}
+
+std::optional<WorldKind> world_from_name(const std::string& name) {
+  if (name == "grid") return WorldKind::kGrid;
+  if (name == "graph") return WorldKind::kGraph;
+  return std::nullopt;
+}
+
 const char* clock_name(ClockKind c) {
   switch (c) {
     case ClockKind::kWall:
@@ -137,6 +153,13 @@ bool conv(const std::string& v, MapKind* out) {
   return true;
 }
 
+bool conv(const std::string& v, WorldKind* out) {
+  const auto w = world_from_name(v);
+  if (!w) return false;
+  *out = *w;
+  return true;
+}
+
 bool conv(const std::string& v, ClockKind* out) {
   const auto c = clock_from_name(v);
   if (!c) return false;
@@ -159,6 +182,7 @@ std::string render(std::int64_t v) { return std::to_string(v); }
 std::string render(std::uint64_t v) { return std::to_string(v); }
 std::string render(Backend v) { return backend_name(v); }
 std::string render(MapKind v) { return map_kind_name(v); }
+std::string render(WorldKind v) { return world_name(v); }
 std::string render(ClockKind v) { return clock_name(v); }
 std::string render(ScoreboardKind v) { return scoreboard_name(v); }
 std::string render(double v) {
@@ -187,6 +211,10 @@ const std::vector<Field>& fields() {
   static const std::vector<Field> kFields = {
       AIM_SPEC_FIELD("name", name),
       AIM_SPEC_FIELD("description", description),
+      AIM_SPEC_FIELD("world", world),
+      AIM_SPEC_FIELD("graph_nodes", graph_nodes),
+      AIM_SPEC_FIELD("graph_degree", graph_degree),
+      AIM_SPEC_FIELD("graph_rewire", graph_rewire),
       AIM_SPEC_FIELD("map", map),
       AIM_SPEC_FIELD("map_width", map_width),
       AIM_SPEC_FIELD("map_height", map_height),
@@ -372,6 +400,38 @@ std::string validate_spec(const ScenarioSpec& spec) {
   }
   if (spec.time_scale <= 0.0) return "time_scale must be > 0";
   if (spec.call_latency_us < 0) return "call_latency_us must be >= 0";
+
+  if (spec.world == WorldKind::kGraph) {
+    if (spec.graph_nodes < 3) {
+      return "graph worlds need graph_nodes >= 3";
+    }
+    if (spec.graph_degree < 2 || spec.graph_degree % 2 != 0 ||
+        spec.graph_degree >= spec.graph_nodes) {
+      return strformat(
+          "graph_degree (%d) must be even, >= 2, and < graph_nodes (%d)",
+          spec.graph_degree, spec.graph_nodes);
+    }
+    if (spec.graph_rewire < 0.0 || spec.graph_rewire > 1.0) {
+      return "graph_rewire must be in [0, 1]";
+    }
+    if (spec.max_vel < 1.0) {
+      return "graph agents move one hop per step: max_vel must be >= 1";
+    }
+    if (spec.days != 1) return "graph worlds are single-day: days must be 1";
+    if (spec.segments != 1) {
+      return "segment concatenation offsets x coordinates, which graph "
+             "worlds use as node ids: segments must be 1";
+    }
+    if (spec.map == MapKind::kArena) {
+      return "arena maps run live gym agents on a grid; they cannot be "
+             "graph worlds";
+    }
+  } else if (spec.graph_nodes != 0) {
+    // A forgotten `world = graph` must fail loudly, not silently run the
+    // grid workload the rest of the spec happens to describe.
+    return "graph_nodes is set but world = grid: set world = graph (or "
+           "drop the graph_* keys)";
+  }
 
   switch (spec.map) {
     case MapKind::kSmallville:

@@ -34,6 +34,17 @@ enum class MapKind : std::uint8_t { kSmallville, kPlaza, kUrbanGrid, kArena };
 const char* map_kind_name(MapKind m);
 std::optional<MapKind> map_kind_from_name(const std::string& name);
 
+/// What the agents stand on.
+///  - kGrid: a tile map (`map` picks the GridMap family) — distances are
+///    Euclidean, movement is one tile per step.
+///  - kGraph: the nodes of a Newman-Watts small-world follower graph
+///    (`graph_nodes`/`graph_degree`/`graph_rewire`) — distances are hops,
+///    movement is one edge per step, and `map` is ignored.
+enum class WorldKind : std::uint8_t { kGrid, kGraph };
+
+const char* world_name(WorldKind w);
+std::optional<WorldKind> world_from_name(const std::string& name);
+
 /// Time base of the engine backend.
 ///  - kWall: real time; LLM calls sleep the fixed `call_latency_us` on a
 ///    FakeLlmClient, reports are in wall seconds.
@@ -61,6 +72,12 @@ struct ScenarioSpec {
   std::string description;
 
   // ---- World geometry ----
+  /// Grid worlds read `map`/`map_width`/... below; graph worlds read the
+  /// graph_* keys and ignore the grid geometry entirely.
+  WorldKind world = WorldKind::kGrid;
+  std::int32_t graph_nodes = 0;   // graph worlds: node count (>= 3)
+  std::int32_t graph_degree = 4;  // graph worlds: even ring degree
+  double graph_rewire = 0.1;      // graph worlds: shortcut probability [0,1]
   MapKind map = MapKind::kSmallville;
   std::int32_t map_width = 40;   // arena maps only
   std::int32_t map_height = 40;  // arena maps only

@@ -689,4 +689,398 @@ SimulationTrace generate_large_ville(std::int32_t n_segments,
   return generate_concatenated(segment_map, n_segments, base);
 }
 
+SimulationTrace generate_social_graph(
+    const std::vector<std::vector<std::int32_t>>& adjacency,
+    const GeneratorConfig& cfg) {
+  AIM_CHECK(cfg.n_agents > 0);
+  AIM_CHECK(cfg.steps_per_day > 0);
+  AIM_CHECK_MSG(cfg.day_index == 0 && cfg.start_tiles.empty(),
+                "graph scenarios are single-day");
+  AIM_CHECK_MSG(cfg.max_vel >= 1.0 - 1e-9,
+                "graph agents hop one edge per step; cfg.max_vel must be >= 1");
+  const auto n_nodes = static_cast<std::int32_t>(adjacency.size());
+  AIM_CHECK_MSG(n_nodes >= 2, "social graph needs at least two nodes");
+  const bool hetero = !cfg.agent_profiles.empty();
+  AIM_CHECK_MSG(!hetero || cfg.agent_profiles.size() ==
+                               static_cast<std::size_t>(cfg.n_agents),
+                "agent_profiles must be empty or one per agent");
+
+  Rng rng(cfg.seed);
+  const Step day = cfg.steps_per_day;
+
+  // Per node: the highest-degree neighbor (ties to the smaller id, which
+  // sorted adjacency gives for free) — the hub agents drift toward during
+  // social hours. This is the graph analogue of the Zipf venue choice: a
+  // few well-connected nodes mediate most agent meetings.
+  std::vector<std::int32_t> hub_neighbor(static_cast<std::size_t>(n_nodes), -1);
+  for (std::int32_t v = 0; v < n_nodes; ++v) {
+    std::int32_t best = -1;
+    std::size_t best_deg = 0;
+    for (std::int32_t nb : adjacency[static_cast<std::size_t>(v)]) {
+      const std::size_t deg = adjacency[static_cast<std::size_t>(nb)].size();
+      if (deg > best_deg) {
+        best_deg = deg;
+        best = nb;
+      }
+    }
+    hub_neighbor[static_cast<std::size_t>(v)] = best;
+  }
+
+  std::vector<AgentSim> sims(static_cast<std::size_t>(cfg.n_agents));
+  std::vector<std::vector<Tile>> positions(
+      static_cast<std::size_t>(cfg.n_agents));
+  std::vector<double> agent_peak(sims.size(), 1.0);
+  for (std::int32_t i = 0; i < cfg.n_agents; ++i) {
+    AgentSim& a = sims[static_cast<std::size_t>(i)];
+    a.id = i;
+    const BehaviorProfile& prof =
+        hetero ? cfg.agent_profiles[static_cast<std::size_t>(i)] : cfg.profile;
+    a.profile = &prof;
+    double peak = 0.0;
+    for (double w : prof.hourly_weights) peak = std::max(peak, w);
+    AIM_CHECK_MSG(peak > 0.0,
+                  "profile '" << prof.name << "' has an all-zero curve");
+    agent_peak[static_cast<std::size_t>(i)] = peak;
+    Rng agent_stream(agent_day_seed(cfg.seed, i, 0));
+    Rng& arng = hetero ? agent_stream : rng;
+    // Same clock-driven schedule shape as the grid generator: quarter-hour
+    // wake marks keep the morning planning bursts aligned across agents.
+    a.wake = clamp_step(
+        hour_to_step(arng.normal(prof.wake_hour_mean, prof.wake_hour_sigma)),
+        hour_to_step(std::max(0.0, prof.wake_hour_mean - 1.5)),
+        hour_to_step(prof.wake_hour_mean + 1.5));
+    a.wake = (a.wake / 90) * 90;
+    a.social_start = clamp_step(
+        hour_to_step(
+            arng.normal(prof.social_hour_mean, prof.social_hour_sigma)),
+        a.wake + 60, hour_to_step(prof.social_hour_mean + 2.0));
+    a.home_start =
+        clamp_step(hour_to_step(arng.normal(prof.home_hour_mean, 0.8)),
+                   a.social_start + 60,
+                   hour_to_step(prof.home_hour_mean + 2.0));
+    a.sleep = clamp_step(hour_to_step(arng.normal(prof.sleep_hour_mean, 0.8)),
+                         a.home_start + 60, day);
+    // Home node: spread the population over the whole graph.
+    a.tile = Tile{static_cast<std::int32_t>(arng.uniform_int(0, n_nodes - 1)),
+                  0};
+    positions[static_cast<std::size_t>(i)].reserve(
+        static_cast<std::size_t>(day) + 1);
+    positions[static_cast<std::size_t>(i)].push_back(a.tile);
+  }
+
+  std::int32_t next_conversation_id = 0;
+  std::vector<Interaction> interactions;
+  std::map<std::pair<AgentId, AgentId>, Step> last_conversation;
+  struct Turn {
+    AgentId speaker, partner;
+    std::int32_t conv_id, turn_idx;
+  };
+  std::map<Step, std::vector<Turn>> scheduled_turns;
+
+  // ---- Pass A: movement, conversations, wake-up planning, reflections ----
+  for (std::int32_t i = 0; i < cfg.n_agents; ++i) {
+    AgentSim& a = sims[static_cast<std::size_t>(i)];
+    a.calls.push_back(LlmCall{a.id, a.wake, 0, CallType::kDailyPlan,
+                              sample_tokens(rng, 820, 0.12, 400, 1600),
+                              sample_tokens(rng, 260, 0.15, 120, 500),
+                              prompt_hash_for(a.id, CallType::kDailyPlan, -1),
+                              -1});
+    const int decomp = static_cast<int>(rng.uniform_int(2, 3));
+    for (int k = 0; k < decomp; ++k) {
+      a.calls.push_back(
+          LlmCall{a.id, a.wake + 1 + k, 0, CallType::kScheduleDecomp,
+                  sample_tokens(rng, 700, 0.12, 300, 1400),
+                  sample_tokens(rng, 120, 0.2, 40, 300),
+                  prompt_hash_for(a.id, CallType::kScheduleDecomp, -1), -1});
+    }
+    const int reflections = static_cast<int>(rng.uniform_int(2, 3));
+    for (int k = 0; k < reflections; ++k) {
+      const Step s = static_cast<Step>(rng.uniform_int(
+          a.wake + 600, std::max<Step>(a.wake + 601, a.sleep - 60)));
+      a.calls.push_back(LlmCall{a.id, std::min(s, day - 1), 0,
+                                CallType::kReflect,
+                                sample_tokens(rng, 1100, 0.15, 500, 2200),
+                                sample_tokens(rng, 110, 0.2, 40, 250),
+                                prompt_hash_for(a.id, CallType::kReflect, -1),
+                                -1});
+    }
+  }
+
+  // Node buckets reused across steps (cleared through the touched list, so
+  // a step costs O(population), not O(nodes)).
+  std::vector<std::vector<AgentId>> node_bucket(
+      static_cast<std::size_t>(n_nodes));
+  std::vector<std::int32_t> touched;
+
+  for (Step s = 0; s < day; ++s) {
+    const auto hour = static_cast<std::size_t>(
+        std::min<Step>(23, static_cast<Step>(s / kStepsPerHour)));
+
+    // Emit scheduled conversation turns for this step.
+    if (auto it = scheduled_turns.find(s); it != scheduled_turns.end()) {
+      for (const Turn& turn : it->second) {
+        AgentSim& speaker = sims[static_cast<std::size_t>(turn.speaker)];
+        speaker.calls.push_back(LlmCall{
+            turn.speaker, s, 0, CallType::kConverse,
+            sample_tokens(rng, 560.0 + 38.0 * turn.turn_idx, 0.1, 200, 3000),
+            sample_tokens(rng, 26, 0.3, 4, 80),
+            prompt_hash_for(turn.speaker, CallType::kConverse, turn.conv_id),
+            turn.conv_id});
+        interactions.push_back(
+            Interaction{s, std::min(turn.speaker, turn.partner),
+                        std::max(turn.speaker, turn.partner)});
+      }
+    }
+
+    // Movement: stay-or-one-hop random walk with the profile's diurnal
+    // intensity; social hours bias the hop toward the highest-degree
+    // neighbor, funneling the population onto hub nodes.
+    for (auto& a : sims) {
+      const bool asleep = s < a.wake || s >= a.sleep;
+      if (asleep || a.conversing_until >= s) {
+        positions[static_cast<std::size_t>(a.id)].push_back(a.tile);
+        continue;
+      }
+      const double intensity = a.profile->hourly_weights[hour] /
+                               agent_peak[static_cast<std::size_t>(a.id)];
+      if (rng.bernoulli(0.05 + 0.25 * intensity)) {
+        const auto& nbrs = adjacency[static_cast<std::size_t>(a.tile.x)];
+        if (!nbrs.empty()) {
+          const bool social = s >= a.social_start && s < a.home_start;
+          const std::int32_t hub =
+              hub_neighbor[static_cast<std::size_t>(a.tile.x)];
+          std::int32_t dest;
+          if (social && hub >= 0 && rng.bernoulli(0.6)) {
+            dest = hub;
+          } else {
+            dest = nbrs[static_cast<std::size_t>(rng.uniform_int(
+                0, static_cast<std::int64_t>(nbrs.size()) - 1))];
+          }
+          a.tile = Tile{dest, 0};
+        }
+      }
+      positions[static_cast<std::size_t>(a.id)].push_back(a.tile);
+    }
+
+    // Conversation kick-off: same-node awake idle agents, paired within
+    // their node bucket. Filling buckets in agent-id order keeps the pair
+    // stream deterministic and avoids the grid generator's O(n^2) pair
+    // scan, which would not survive 10k agents.
+    touched.clear();
+    for (const auto& a : sims) {
+      if (s < a.wake || s >= a.sleep || a.conversing_until >= s) continue;
+      auto& bucket = node_bucket[static_cast<std::size_t>(a.tile.x)];
+      if (bucket.empty()) touched.push_back(a.tile.x);
+      bucket.push_back(a.id);
+    }
+    for (std::int32_t node : touched) {
+      auto& bucket = node_bucket[static_cast<std::size_t>(node)];
+      for (std::size_t bi = 0; bi + 1 < bucket.size(); ++bi) {
+        AgentSim& a = sims[static_cast<std::size_t>(bucket[bi])];
+        AgentSim& b = sims[static_cast<std::size_t>(bucket[bi + 1])];
+        if (a.conversing_until >= s || b.conversing_until >= s) continue;
+        const auto pair_key = std::make_pair(a.id, b.id);
+        const BehaviorProfile& pa = *a.profile;
+        const BehaviorProfile& pb = *b.profile;
+        auto lit = last_conversation.find(pair_key);
+        if (lit != last_conversation.end() &&
+            s - lit->second < std::max(pa.conversation_cooldown_steps,
+                                       pb.conversation_cooldown_steps)) {
+          continue;
+        }
+        const double conv_intensity =
+            pa.hourly_weights[hour] / agent_peak[static_cast<std::size_t>(a.id)];
+        const double start_prob =
+            hetero ? std::sqrt(pa.conversation_start_prob *
+                               pb.conversation_start_prob)
+                   : pa.conversation_start_prob;
+        if (!rng.bernoulli(start_prob * std::max(0.1, conv_intensity))) {
+          continue;
+        }
+        const int n_turns =
+            3 + static_cast<int>(rng.poisson(1.4 * pa.hourly_weights[hour] *
+                                             pa.conversation_length_scale));
+        const std::int32_t conv_id = next_conversation_id++;
+        Step turn_step = s + 1;
+        for (int t = 0; t < n_turns && turn_step < day; ++t) {
+          const AgentId speaker = (t % 2 == 0) ? a.id : b.id;
+          const AgentId partner = (t % 2 == 0) ? b.id : a.id;
+          scheduled_turns[turn_step].push_back(
+              Turn{speaker, partner, conv_id, t});
+          turn_step += 1;
+        }
+        const Step conv_end = std::min<Step>(turn_step, day - 1);
+        a.conversing_until = conv_end;
+        b.conversing_until = conv_end;
+        last_conversation[pair_key] = conv_end;
+        ++bi;  // b is taken; move past it
+      }
+      bucket.clear();
+    }
+  }
+
+  // ---- Pass B: routine fill to hit the diurnal call-count profile ----
+  // Identical to the grid generator's fill: it depends only on schedules,
+  // profiles, and the pass-A calls, never on world geometry.
+  const double total_target = cfg.target_calls_per_25_agents *
+                              (static_cast<double>(cfg.n_agents) / 25.0);
+
+  std::array<double, 24> target_by_hour{};
+  std::vector<double> agent_curve_sum(sims.size(), 0.0);
+  if (!hetero) {
+    double weight_sum = 0.0;
+    for (double w : cfg.profile.hourly_weights) weight_sum += w;
+    AIM_CHECK(weight_sum > 0.0);
+    for (std::size_t h = 0; h < 24; ++h) {
+      target_by_hour[h] =
+          total_target * cfg.profile.hourly_weights[h] / weight_sum;
+    }
+  } else {
+    const double per_agent = total_target / static_cast<double>(cfg.n_agents);
+    for (std::size_t i = 0; i < sims.size(); ++i) {
+      const BehaviorProfile& prof = *sims[i].profile;
+      double wsum = 0.0;
+      for (double w : prof.hourly_weights) wsum += w;
+      AIM_CHECK_MSG(wsum > 0.0, "profile '" << prof.name
+                                            << "' has an all-zero curve");
+      agent_curve_sum[i] = wsum;
+      for (std::size_t h = 0; h < 24; ++h) {
+        target_by_hour[h] += per_agent * prof.hourly_weights[h] / wsum;
+      }
+    }
+  }
+
+  std::array<double, 24> existing{};
+  double nonroutine_input_sum = 0.0;
+  std::size_t nonroutine_count = 0;
+  for (const auto& a : sims) {
+    for (const auto& c : a.calls) {
+      existing[static_cast<std::size_t>(
+          std::min<Step>(23, static_cast<Step>(c.step / kStepsPerHour)))] += 1.0;
+      nonroutine_input_sum += c.input_tokens;
+      ++nonroutine_count;
+    }
+  }
+
+  double routine_quota = 0.0;
+  for (std::size_t h = 0; h < 24; ++h) {
+    routine_quota += std::max(0.0, target_by_hour[h] - existing[h]);
+  }
+  const double routine_input_mean =
+      routine_quota > 0.0
+          ? std::clamp(
+                (cfg.mean_input_tokens *
+                     (routine_quota + static_cast<double>(nonroutine_count)) -
+                 nonroutine_input_sum) /
+                    routine_quota,
+                64.0, 2048.0)
+          : cfg.mean_input_tokens;
+
+  std::array<std::vector<AgentId>, 24> awake_by_hour;
+  for (const auto& a : sims) {
+    for (std::size_t h = 0; h < 24; ++h) {
+      const Step h0 = static_cast<Step>(h * kStepsPerHour);
+      const Step h1 = h0 + static_cast<Step>(kStepsPerHour);
+      if (a.wake < h1 && a.sleep > h0) awake_by_hour[h].push_back(a.id);
+    }
+  }
+
+  static const CallType kBurstPattern[4] = {CallType::kPerceive,
+                                            CallType::kRetrieve,
+                                            CallType::kReact, CallType::kPlan};
+  static const double kBurstOutMean[4] = {16.0, 13.0, 38.0, 35.0};
+
+  for (std::size_t h = 0; h < 24; ++h) {
+    double deficit = target_by_hour[h] - existing[h];
+    const auto& candidates = awake_by_hour[h];
+    if (candidates.empty()) continue;
+    std::vector<double> weights(candidates.size());
+    for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+      weights[ci] = std::exp(rng.normal(0.0, 0.6));
+      if (hetero) {
+        const auto idx = static_cast<std::size_t>(candidates[ci]);
+        weights[ci] *= std::max(
+            1e-6, sims[idx].profile->hourly_weights[h] / agent_curve_sum[idx]);
+      }
+    }
+    const Step h0 = static_cast<Step>(h * kStepsPerHour);
+    while (deficit >= 1.0) {
+      AgentSim& a = sims[static_cast<std::size_t>(
+          candidates[rng.weighted_index(weights)])];
+      const double intensity = a.profile->hourly_weights[h] /
+                               agent_peak[static_cast<std::size_t>(a.id)];
+      const double p_task = 0.25 * intensity;
+      const double task_len_lambda = 1.0 + 7.0 * intensity;
+      const double p_pulse = 0.9 * (1.0 - intensity);
+      const Step lo = std::max(h0, a.wake);
+      const Step hi = std::min<Step>(h0 + static_cast<Step>(kStepsPerHour) - 1,
+                                     a.sleep - 1);
+      if (lo > hi) continue;
+      Step s = static_cast<Step>(rng.uniform_int(lo, hi));
+      int burst;
+      if (rng.bernoulli(p_pulse)) {
+        s = std::max(lo, static_cast<Step>(s / 15) * 15);
+        burst = 1 + static_cast<int>(rng.poisson(0.5));
+      } else if (rng.bernoulli(p_task)) {
+        burst = 5 + static_cast<int>(rng.poisson(task_len_lambda));
+      } else {
+        burst = 1 + static_cast<int>(rng.poisson(1.0));
+      }
+      burst = std::min(burst, 24);
+      for (int k = 0; k < burst; ++k) {
+        const CallType type = kBurstPattern[k % 4];
+        a.calls.push_back(
+            LlmCall{a.id, s, 0, type,
+                    sample_tokens(rng, routine_input_mean, 0.45, 48, 3000),
+                    sample_tokens(rng, kBurstOutMean[k % 4], 0.4, 3, 120),
+                    prompt_hash_for(a.id, type, -1), -1});
+      }
+      deficit -= burst;
+    }
+  }
+
+  // ---- Assemble ----
+  SimulationTrace out;
+  out.n_agents = cfg.n_agents;
+  out.n_steps = day;
+  out.start_step = 0;
+  out.radius_p = cfg.radius_p;
+  out.max_vel = cfg.max_vel;
+  out.map_width = n_nodes;
+  out.map_height = 1;
+  out.world_kind = WorldKind::kGraph;
+  out.graph_adjacency = adjacency;
+  out.agents.resize(static_cast<std::size_t>(cfg.n_agents));
+  for (std::int32_t i = 0; i < cfg.n_agents; ++i) {
+    AgentTrace& at = out.agents[static_cast<std::size_t>(i)];
+    at.agent = i;
+    at.positions = std::move(positions[static_cast<std::size_t>(i)]);
+    AIM_CHECK(at.positions.size() == static_cast<std::size_t>(day) + 1);
+    auto& calls = sims[static_cast<std::size_t>(i)].calls;
+    std::stable_sort(calls.begin(), calls.end(),
+                     [](const LlmCall& x, const LlmCall& y) {
+                       return x.step < y.step;
+                     });
+    std::int32_t seq = 0;
+    Step prev = -1;
+    for (auto& c : calls) {
+      seq = (c.step == prev) ? seq + 1 : 0;
+      prev = c.step;
+      c.seq = seq;
+    }
+    at.calls = std::move(calls);
+  }
+  std::sort(interactions.begin(), interactions.end(),
+            [](const Interaction& x, const Interaction& y) {
+              if (x.step != y.step) return x.step < y.step;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  interactions.erase(std::unique(interactions.begin(), interactions.end()),
+                     interactions.end());
+  out.interactions = std::move(interactions);
+  out.validate();
+  return out;
+}
+
 }  // namespace aimetro::trace

@@ -101,4 +101,20 @@ SimulationTrace generate_concatenated(
 SimulationTrace generate_large_ville(std::int32_t n_segments,
                                      const GeneratorConfig& base);
 
+/// Graph-world (social-network) generator: agents live on the nodes of a
+/// fixed undirected graph (e.g. world::newman_watts_graph), positions
+/// encode node ids, and radius_p/max_vel are measured in hops
+/// (cfg.max_vel must be >= 1 — agents move one hop per step). Daily
+/// structure mirrors the grid generator: wake/sleep schedules and the
+/// wake-up planning burst come from the behavior profile(s), agents
+/// random-walk their neighborhood with the profile's diurnal intensity
+/// (drifting toward high-degree hub nodes in social hours), conversations
+/// start between co-located agents with per-pair cooldowns, and a Pass-B
+/// routine fill hits the same calibrated diurnal call-count curve.
+/// Requires cfg.day_index == 0 and empty cfg.start_tiles (graph scenarios
+/// are single-day); cfg.days is ignored.
+SimulationTrace generate_social_graph(
+    const std::vector<std::vector<std::int32_t>>& adjacency,
+    const GeneratorConfig& cfg);
+
 }  // namespace aimetro::trace

@@ -29,6 +29,16 @@ const char* call_type_name(CallType t) {
   return "?";
 }
 
+const char* world_kind_name(WorldKind k) {
+  switch (k) {
+    case WorldKind::kGrid:
+      return "grid";
+    case WorldKind::kGraph:
+      return "graph";
+  }
+  return "?";
+}
+
 std::size_t SimulationTrace::total_calls() const {
   std::size_t n = 0;
   for (const AgentTrace& a : agents) n += a.calls.size();
@@ -50,6 +60,30 @@ void SimulationTrace::validate() const {
   AIM_CHECK(n_agents == static_cast<std::int32_t>(agents.size()));
   AIM_CHECK(n_steps >= 0);
   AIM_CHECK(radius_p >= 0.0 && max_vel >= 0.0);
+  const bool graph = world_kind == WorldKind::kGraph;
+  if (graph) {
+    AIM_CHECK_MSG(!graph_adjacency.empty(),
+                  "graph trace carries no adjacency");
+    AIM_CHECK_MSG(map_width ==
+                          static_cast<std::int32_t>(graph_adjacency.size()) &&
+                      map_height == 1,
+                  "graph trace bounds must be (node count, 1)");
+    const auto n_nodes = static_cast<std::int32_t>(graph_adjacency.size());
+    for (const auto& neighbors : graph_adjacency) {
+      AIM_CHECK_MSG(std::is_sorted(neighbors.begin(), neighbors.end()),
+                    "graph adjacency lists must be sorted");
+      for (std::int32_t v : neighbors) AIM_CHECK(v >= 0 && v < n_nodes);
+    }
+  } else {
+    AIM_CHECK_MSG(graph_adjacency.empty(),
+                  "grid trace carries a graph adjacency");
+  }
+  // A one-hop move is legal only when the speed budget allows a full hop.
+  const bool hops_allowed = max_vel >= 1.0 - 1e-9;
+  auto adjacent = [&](std::int32_t a, std::int32_t b) {
+    const auto& neighbors = graph_adjacency[static_cast<std::size_t>(a)];
+    return std::binary_search(neighbors.begin(), neighbors.end(), b);
+  };
   for (std::size_t i = 0; i < agents.size(); ++i) {
     const AgentTrace& a = agents[i];
     AIM_CHECK_MSG(a.agent == static_cast<AgentId>(i),
@@ -62,6 +96,19 @@ void SimulationTrace::validate() const {
                     "agent " << i << " position out of bounds");
     }
     for (std::size_t s = 0; s + 1 < a.positions.size(); ++s) {
+      if (graph) {
+        // Graph speed rule: stay put, or hop one edge when max_vel allows
+        // a whole hop (hop distances are integral, so max_vel below 1
+        // means no movement at all).
+        const std::int32_t from = a.positions[s].x;
+        const std::int32_t to = a.positions[s + 1].x;
+        if (from == to) continue;
+        AIM_CHECK_MSG(hops_allowed && adjacent(from, to),
+                      "agent " << i << " jumped from node " << from
+                               << " to non-adjacent node " << to
+                               << " at step " << s);
+        continue;
+      }
       const double d =
           chebyshev(a.positions[s].center(), a.positions[s + 1].center());
       AIM_CHECK_MSG(d <= max_vel + 1e-9,
@@ -111,6 +158,8 @@ SimulationTrace slice(const SimulationTrace& full, Step begin, Step end) {
   out.max_vel = full.max_vel;
   out.map_width = full.map_width;
   out.map_height = full.map_height;
+  out.world_kind = full.world_kind;
+  out.graph_adjacency = full.graph_adjacency;
   out.agents.reserve(full.agents.size());
   const std::size_t off = static_cast<std::size_t>(begin - full.start_step);
   for (const AgentTrace& a : full.agents) {
@@ -135,6 +184,9 @@ SimulationTrace concatenate_segments(
     const std::vector<SimulationTrace>& segments, std::int32_t stride_x) {
   AIM_CHECK(!segments.empty());
   const SimulationTrace& first = segments.front();
+  AIM_CHECK_MSG(first.world_kind == WorldKind::kGrid,
+                "segment concatenation offsets x coordinates — grid worlds "
+                "only (graph worlds scale by growing the graph instead)");
   SimulationTrace out;
   out.n_agents = 0;
   out.n_steps = first.n_steps;
@@ -210,6 +262,8 @@ SimulationTrace concatenate_days(const std::vector<SimulationTrace>& days) {
   out.max_vel = first.max_vel;
   out.map_width = first.map_width;
   out.map_height = first.map_height;
+  out.world_kind = first.world_kind;
+  out.graph_adjacency = first.graph_adjacency;
   out.agents.resize(static_cast<std::size_t>(first.n_agents));
   for (std::size_t i = 0; i < out.agents.size(); ++i) {
     out.agents[i].agent = static_cast<AgentId>(i);
@@ -223,7 +277,9 @@ SimulationTrace concatenate_days(const std::vector<SimulationTrace>& days) {
                       day.map_width == first.map_width &&
                       day.map_height == first.map_height &&
                       day.radius_p == first.radius_p &&
-                      day.max_vel == first.max_vel,
+                      day.max_vel == first.max_vel &&
+                      day.world_kind == first.world_kind &&
+                      day.graph_adjacency == first.graph_adjacency,
                   "day " << d << " has a different shape");
     const Step step_offset = out.n_steps;
     std::int32_t max_conv_id = -1;

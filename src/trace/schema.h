@@ -69,6 +69,13 @@ struct AgentTrace {
   std::vector<LlmCall> calls;
 };
 
+/// What kind of world a trace's positions live in. Grid traces encode
+/// tiles; graph traces encode node ids of a fixed undirected graph in
+/// `Tile::x` (y always 0), with `radius_p`/`max_vel` measured in hops.
+enum class WorldKind : std::uint8_t { kGrid = 0, kGraph = 1 };
+
+const char* world_kind_name(WorldKind k);
+
 /// A complete simulation trace (possibly a slice of a day, possibly a
 /// concatenation of independent segments).
 struct SimulationTrace {
@@ -76,10 +83,17 @@ struct SimulationTrace {
   Step n_steps = 0;      // steps covered: [start_step, start_step + n_steps)
   Step start_step = 0;   // absolute index of positions[0] (4320 = noon)
   double seconds_per_step = 10.0;  // simulated seconds per step (GenAgent)
-  double radius_p = 4.0;           // perception radius (grid units)
-  double max_vel = 1.0;            // max movement per step (grid units)
+  double radius_p = 4.0;           // perception radius (grid units / hops)
+  double max_vel = 1.0;            // max movement per step (grid units / hops)
   std::int32_t map_width = 0;
   std::int32_t map_height = 0;
+  WorldKind world_kind = WorldKind::kGrid;
+  /// Graph worlds only: adjacency[i] lists the neighbors of node i.
+  /// Positions must name nodes (x in [0, adjacency.size()), y == 0), and
+  /// consecutive positions must be equal or adjacent. Grid worlds leave
+  /// it empty. For bounds checks to stay uniform, graph traces set
+  /// map_width = node count and map_height = 1.
+  std::vector<std::vector<std::int32_t>> graph_adjacency;
   std::vector<AgentTrace> agents;          // indexed by AgentId
   std::vector<Interaction> interactions;   // sorted by (step, a, b)
 

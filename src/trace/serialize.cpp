@@ -12,7 +12,11 @@ namespace aimetro::trace {
 namespace {
 
 constexpr char kMagic[4] = {'A', 'I', 'M', 'T'};
-constexpr std::uint32_t kVersion = 1;
+// v1: grid traces. v2 adds the world kind and, for graph worlds, the
+// adjacency lists. Grid traces keep writing v1 so historical streams stay
+// byte-identical; the loader accepts both.
+constexpr std::uint32_t kGridVersion = 1;
+constexpr std::uint32_t kGraphVersion = 2;
 
 template <typename T>
 void write_pod(std::ostream& os, const T& v) {
@@ -32,8 +36,17 @@ T read_pod(std::istream& is) {
 }  // namespace
 
 void save_binary(const SimulationTrace& trace, std::ostream& os) {
+  const bool graph = trace.world_kind == WorldKind::kGraph;
   os.write(kMagic, sizeof(kMagic));
-  write_pod(os, kVersion);
+  write_pod(os, graph ? kGraphVersion : kGridVersion);
+  if (graph) {
+    write_pod(os, static_cast<std::uint8_t>(trace.world_kind));
+    write_pod(os, static_cast<std::uint64_t>(trace.graph_adjacency.size()));
+    for (const auto& neighbors : trace.graph_adjacency) {
+      write_pod(os, static_cast<std::uint64_t>(neighbors.size()));
+      for (std::int32_t v : neighbors) write_pod(os, v);
+    }
+  }
   write_pod(os, trace.n_agents);
   write_pod(os, trace.n_steps);
   write_pod(os, trace.start_step);
@@ -75,8 +88,23 @@ SimulationTrace load_binary(std::istream& is) {
   AIM_CHECK_MSG(is.good() && std::memcmp(magic, kMagic, 4) == 0,
                 "not an AIMT trace stream");
   const auto version = read_pod<std::uint32_t>(is);
-  AIM_CHECK_MSG(version == kVersion, "unsupported trace version " << version);
+  AIM_CHECK_MSG(version == kGridVersion || version == kGraphVersion,
+                "unsupported trace version " << version);
   SimulationTrace trace;
+  if (version == kGraphVersion) {
+    trace.world_kind = static_cast<WorldKind>(read_pod<std::uint8_t>(is));
+    const auto n_nodes = read_pod<std::uint64_t>(is);
+    AIM_CHECK(n_nodes > 0 && n_nodes < 10'000'000);
+    trace.graph_adjacency.resize(n_nodes);
+    for (auto& neighbors : trace.graph_adjacency) {
+      const auto n_neighbors = read_pod<std::uint64_t>(is);
+      AIM_CHECK(n_neighbors < n_nodes);
+      neighbors.reserve(n_neighbors);
+      for (std::uint64_t i = 0; i < n_neighbors; ++i) {
+        neighbors.push_back(read_pod<std::int32_t>(is));
+      }
+    }
+  }
   trace.n_agents = read_pod<std::int32_t>(is);
   trace.n_steps = read_pod<Step>(is);
   trace.start_step = read_pod<Step>(is);
@@ -139,11 +167,22 @@ SimulationTrace load_binary_file(const std::string& path) {
 }
 
 void export_jsonl(const SimulationTrace& trace, std::ostream& os) {
-  os << strformat(
-      "{\"type\":\"header\",\"n_agents\":%d,\"n_steps\":%d,\"start_step\":%d,"
-      "\"radius_p\":%.3f,\"max_vel\":%.3f,\"map\":[%d,%d]}\n",
-      trace.n_agents, trace.n_steps, trace.start_step, trace.radius_p,
-      trace.max_vel, trace.map_width, trace.map_height);
+  if (trace.world_kind == WorldKind::kGraph) {
+    // Graph worlds lead with their kind so a reader never mistakes node
+    // ids for tile coordinates; grid headers keep the historical shape.
+    os << strformat(
+        "{\"type\":\"header\",\"world\":\"graph\",\"n_agents\":%d,"
+        "\"n_steps\":%d,\"start_step\":%d,\"radius_p\":%.3f,"
+        "\"max_vel\":%.3f,\"nodes\":%d}\n",
+        trace.n_agents, trace.n_steps, trace.start_step, trace.radius_p,
+        trace.max_vel, trace.map_width);
+  } else {
+    os << strformat(
+        "{\"type\":\"header\",\"n_agents\":%d,\"n_steps\":%d,\"start_step\":"
+        "%d,\"radius_p\":%.3f,\"max_vel\":%.3f,\"map\":[%d,%d]}\n",
+        trace.n_agents, trace.n_steps, trace.start_step, trace.radius_p,
+        trace.max_vel, trace.map_width, trace.map_height);
+  }
   for (const AgentTrace& a : trace.agents) {
     for (const LlmCall& c : a.calls) {
       os << strformat(

@@ -9,9 +9,22 @@
 
 namespace aimetro::world {
 
-WorldState::WorldState(const GridMap* map, std::vector<Tile> initial_tiles)
-    : map_(map), tiles_(std::move(initial_tiles)), index_(8.0) {
+WorldState::WorldState(
+    const GridMap* map, std::vector<Tile> initial_tiles,
+    const std::vector<std::vector<std::int32_t>>* graph_adjacency)
+    : map_(map),
+      graph_adjacency_(graph_adjacency),
+      tiles_(std::move(initial_tiles)),
+      index_(8.0) {
   AIM_CHECK(map_ != nullptr);
+  if (graph_adjacency_ != nullptr) {
+    // The substrate map exists for uniform bounds checks: one row, one
+    // column per node.
+    AIM_CHECK_MSG(map_->width() ==
+                          static_cast<std::int32_t>(graph_adjacency_->size()) &&
+                      map_->height() == 1,
+                  "graph substrate map must be node_count x 1");
+  }
   agent_count_ = tiles_.size();
   for (std::size_t i = 0; i < tiles_.size(); ++i) {
     AIM_CHECK_MSG(map_->in_bounds(tiles_[i]),
@@ -67,31 +80,46 @@ std::vector<StepOutcome> WorldState::resolve_conflict_and_commit(
 
     if (in->move_to) {
       const Tile target = *in->move_to;
-      bool ok = map_->walkable(target);
-      // One tile per step (Chebyshev move of <= 1): the speed limit the
-      // dependency rules assume (max_vel).
-      ok = ok && chebyshev(target.center(), out.tile.center()) <= 1.0 + 1e-9;
-      // Lost to a lower-id mover this step?
-      ok = ok && claimed_tiles.count(target) == 0;
-      if (ok && !(target == out.tile)) {
-        // Occupied by an agent outside the cluster (or a non-mover)?
-        for (AgentId other : index_.query_radius(target.center(), 0.25)) {
-          if (other == in->agent) continue;
-          auto vit = vacated.find(target);
-          const bool other_vacating =
-              vit != vacated.end() && vit->second == other;
-          if (!other_vacating) {
-            ok = false;
-            break;
+      if (graph_world()) {
+        // Graph nodes are venues, not tiles: they hold crowds, so moves
+        // never conflict. Legality is edge membership — stay put or
+        // follow one edge of the social graph (one hop per step, the
+        // speed limit the dependency rules assume in hop units).
+        const auto& nbrs =
+            (*graph_adjacency_)[static_cast<std::size_t>(out.tile.x)];
+        const bool ok =
+            map_->in_bounds(target) &&
+            (target == out.tile ||
+             std::binary_search(nbrs.begin(), nbrs.end(), target.x));
+        if (ok) out.tile = target;
+        out.move_ok = ok;
+      } else {
+        bool ok = map_->walkable(target);
+        // One tile per step (Chebyshev move of <= 1): the speed limit the
+        // dependency rules assume (max_vel).
+        ok = ok && chebyshev(target.center(), out.tile.center()) <= 1.0 + 1e-9;
+        // Lost to a lower-id mover this step?
+        ok = ok && claimed_tiles.count(target) == 0;
+        if (ok && !(target == out.tile)) {
+          // Occupied by an agent outside the cluster (or a non-mover)?
+          for (AgentId other : index_.query_radius(target.center(), 0.25)) {
+            if (other == in->agent) continue;
+            auto vit = vacated.find(target);
+            const bool other_vacating =
+                vit != vacated.end() && vit->second == other;
+            if (!other_vacating) {
+              ok = false;
+              break;
+            }
           }
         }
-      }
-      if (ok) {
-        claimed_tiles.emplace(target, in->agent);
-        out.tile = target;
-        out.move_ok = true;
-      } else {
-        out.move_ok = false;
+        if (ok) {
+          claimed_tiles.emplace(target, in->agent);
+          out.tile = target;
+          out.move_ok = true;
+        } else {
+          out.move_ok = false;
+        }
       }
     }
 

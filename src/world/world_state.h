@@ -45,9 +45,21 @@ struct WorldEvent {
 
 class WorldState {
  public:
-  WorldState(const GridMap* map, std::vector<Tile> initial_tiles);
+  /// Grid world (graph_adjacency == nullptr): tiles are exclusive, moves
+  /// are Chebyshev-1 steps onto walkable tiles.
+  ///
+  /// Graph world (graph_adjacency != nullptr, non-owning, must outlive the
+  /// WorldState): positions encode node ids in Tile::x (y == 0) and `map`
+  /// is the node-count-by-1 substrate used for bounds checks. A legal move
+  /// stays put or follows one edge, and nodes are venues, not tiles — they
+  /// hold crowds, so moves never conflict and the exclusive-occupancy rule
+  /// does not apply.
+  WorldState(const GridMap* map, std::vector<Tile> initial_tiles,
+             const std::vector<std::vector<std::int32_t>>* graph_adjacency =
+                 nullptr);
 
   const GridMap& map() const { return *map_; }
+  bool graph_world() const { return graph_adjacency_ != nullptr; }
   /// Fixed at construction (agents are never added or removed), so no lock
   /// is needed to read it.
   std::size_t agent_count() const { return agent_count_; }
@@ -99,6 +111,8 @@ class WorldState {
  private:
   mutable common::SharedMutex mutex_{"world"};
   const GridMap* map_;
+  /// Immutable after construction (like map_): null for grid worlds.
+  const std::vector<std::vector<std::int32_t>>* graph_adjacency_ = nullptr;
   std::size_t agent_count_ = 0;  // immutable after construction
   std::vector<Tile> tiles_ GUARDED_BY(mutex_);
   SpatialIndex index_ GUARDED_BY(mutex_);

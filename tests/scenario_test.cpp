@@ -714,6 +714,108 @@ TEST(Driver, InvalidSpecThrowsWithTheValidationMessage) {
   EXPECT_THROW(ScenarioDriver{spec}, CheckError);
 }
 
+// ---- Graph-native social worlds ----
+
+TEST(GraphWorld, SpecKeysParseValidateAndSuggest) {
+  // The world kind is explicit at parse time; the graph_* knobs parse,
+  // round-trip, and validate their ranges.
+  const auto parsed = parse_spec_text(
+      "world = graph\n"
+      "graph_nodes = 60\n"
+      "graph_degree = 4\n"
+      "graph_rewire = 0.2\n"
+      "max_vel = 1\n");
+  ASSERT_TRUE(parsed) << parsed.error;
+  EXPECT_EQ(parsed.spec->world, WorldKind::kGraph);
+  EXPECT_EQ(parsed.spec->graph_nodes, 60);
+  EXPECT_EQ(validate_spec(*parsed.spec), "");
+  const auto again = parse_spec_text(parsed.spec->to_text());
+  ASSERT_TRUE(again) << again.error;
+  EXPECT_EQ(*again.spec, *parsed.spec);
+
+  // Unknown world kinds and typo'd keys fail loudly with suggestions.
+  EXPECT_FALSE(parse_spec_text("world = torus\n"));
+  ScenarioSpec spec;
+  std::string error;
+  EXPECT_FALSE(apply_override(&spec, "grph_nodes=60", &error));
+  EXPECT_NE(error.find("did you mean 'graph_nodes'?"), std::string::npos);
+
+  // Setting graph knobs while world = grid is a spec error that names
+  // the fix, not a silently ignored key.
+  ASSERT_TRUE(apply_override(&spec, "graph_nodes=60", &error)) << error;
+  EXPECT_NE(validate_spec(spec).find("world = graph"), std::string::npos);
+
+  // Range/compatibility validation on graph worlds.
+  auto graph_spec = *parsed.spec;
+  graph_spec.graph_degree = 3;  // odd
+  EXPECT_NE(validate_spec(graph_spec), "");
+  graph_spec = *parsed.spec;
+  graph_spec.graph_rewire = 1.5;
+  EXPECT_NE(validate_spec(graph_spec), "");
+  graph_spec = *parsed.spec;
+  graph_spec.max_vel = 0.5;  // cannot even cross one edge
+  EXPECT_NE(validate_spec(graph_spec), "");
+  graph_spec = *parsed.spec;
+  graph_spec.segments = 2;  // grid-only construction
+  EXPECT_NE(validate_spec(graph_spec), "");
+  graph_spec = *parsed.spec;
+  graph_spec.days = 2;  // graph generator is single-day
+  EXPECT_NE(validate_spec(graph_spec), "");
+}
+
+TEST(GraphWorld, SocialNetFamilyIsParameterized) {
+  std::string error;
+  const auto s10 = find_scenario("social_net10", &error);
+  ASSERT_TRUE(s10.has_value()) << error;
+  EXPECT_EQ(s10->world, WorldKind::kGraph);
+  EXPECT_EQ(s10->agents, 10);
+  EXPECT_EQ(s10->graph_nodes, 200);  // ~1 agent per 20 nodes
+  EXPECT_EQ(validate_spec(*s10), "");
+
+  const auto s10k = find_scenario("social_net10000", &error);
+  ASSERT_TRUE(s10k.has_value()) << error;
+  EXPECT_EQ(s10k->agents, 10000);
+  EXPECT_EQ(s10k->graph_nodes, 200000);
+  EXPECT_EQ(validate_spec(*s10k), "");
+
+  EXPECT_FALSE(find_scenario("social_net9", &error).has_value());
+  EXPECT_FALSE(find_scenario("social_net10001", &error).has_value());
+  EXPECT_FALSE(find_scenario("social_netXL", &error).has_value());
+}
+
+TEST(GraphWorld, CrossBackendDigestsAgreeIndexedAndBrute) {
+  // The tentpole guarantee at the scenario level: a graph world reaches
+  // the same final scoreboard state on the DES and engine backends, in
+  // indexed and brute scan modes — four runs, one digest.
+  std::string error;
+  auto spec = find_scenario("social_net10", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  spec->window_begin = 4320;
+  spec->window_end = 4340;
+  spec->call_latency_us = 0;
+  ASSERT_EQ(validate_spec(*spec), "");
+
+  std::vector<std::uint64_t> digests;
+  std::uint64_t calls = 0;
+  for (Backend backend : {Backend::kDes, Backend::kEngine}) {
+    for (ScoreboardKind scan :
+         {ScoreboardKind::kIndexed, ScoreboardKind::kBrute}) {
+      spec->backend = backend;
+      spec->scoreboard = scan;
+      const auto report = ScenarioDriver(*spec).run(/*serial_baseline=*/false);
+      EXPECT_EQ(report.agent_steps, 10u * 20u)
+          << backend_name(backend) << "/" << scoreboard_name(scan);
+      digests.push_back(report.scoreboard_digest);
+      if (calls == 0) calls = report.total_calls;
+      EXPECT_EQ(report.total_calls, calls);
+    }
+  }
+  ASSERT_EQ(digests.size(), 4u);
+  EXPECT_EQ(digests[0], digests[1]) << "des indexed vs brute";
+  EXPECT_EQ(digests[0], digests[2]) << "des vs engine";
+  EXPECT_EQ(digests[2], digests[3]) << "engine indexed vs brute";
+}
+
 // ---- Scoreboard scan modes ----
 
 TEST(ScanModes, SpecKeyParsesRendersAndRejects) {

@@ -1,154 +1,90 @@
-// Differential tests for the spatial-index-backed scoreboard.
+// Differential tests for the index-backed scoreboard scan modes.
 //
-// ScanMode::kIndexed must be observably indistinguishable from the
-// brute-force full-scan reference: identical ready-cluster sequences,
-// identical edges, identical statistics, for any pop/commit schedule.
-// These tests drive an indexed and a brute scoreboard through the exact
-// same randomized executor loop and compare the complete observable
-// state after every commit.
+// ScanMode::kIndexed (spatial-index box probes on Chebyshev-bounded
+// metrics, graph-index BFS ball probes on hop metrics) must be observably
+// indistinguishable from the brute-force full-scan reference. The
+// randomized sweep lives in tests/support/differential.h — a reusable
+// harness that drives an indexed and a brute scoreboard through one
+// executor loop and compares the complete observable state after every
+// commit, with a one-line AIMETRO_DIFF_REPRO shrink mode for failures.
 #include <gtest/gtest.h>
 
 #include <algorithm>
 #include <cmath>
 #include <memory>
-#include <string>
 #include <utility>
 #include <vector>
 
 #include "common/rng.h"
 #include "core/metric.h"
 #include "core/scoreboard.h"
+#include "support/differential.h"
 
 namespace aimetro::core {
 namespace {
 
-std::shared_ptr<const Metric> metric_by_name(const std::string& name) {
-  if (name == "euclidean") return std::make_shared<EuclideanMetric>();
-  if (name == "manhattan") return std::make_shared<ManhattanMetric>();
-  if (name == "chebyshev") return std::make_shared<ChebyshevMetric>();
-  ADD_FAILURE() << "unknown metric " << name;
-  return nullptr;
+using test_support::DiffCase;
+using test_support::DiffShape;
+using test_support::parse_repro;
+using test_support::repro_string;
+using test_support::run_differential_sweep;
+
+/// The sweep's shape catalogue: every metric family, every density regime
+/// the scheduler distinguishes. Graph shapes draw a fresh Newman-Watts
+/// small-world graph per seed, so 16 seeds mean 16 different graphs.
+const std::vector<DiffShape>& sweep_shapes() {
+  static const std::vector<DiffShape> kShapes = {
+      // Dense coupling: big clusters, lots of merging.
+      {24, 30.0, 20, DependencyParams{4.0, 1.0}, "euclidean"},
+      // Sparse: independence, long lag spreads, tight radius bound.
+      {40, 400.0, 25, DependencyParams{4.0, 1.0}, "euclidean"},
+      // Mixed occupancy.
+      {64, 120.0, 15, DependencyParams{4.0, 1.0}, "euclidean"},
+      // Large perception radius: blocking dominates.
+      {32, 80.0, 12, DependencyParams{10.0, 1.0}, "euclidean"},
+      // Slow agents: lag cones grow slowly.
+      {24, 40.0, 18, DependencyParams{3.0, 0.25}, "euclidean"},
+      // Non-Euclidean grid metrics exercise the box-superset filter.
+      {32, 60.0, 15, DependencyParams{4.0, 1.0}, "manhattan"},
+      {32, 60.0, 15, DependencyParams{4.0, 1.0}, "chebyshev"},
+      // Degenerate single agent.
+      {1, 5.0, 30, DependencyParams{4.0, 1.0}, "euclidean"},
+      // Graph shapes exercise the BFS ball probe end to end.
+      // Sparse small-world: ~1 agent per 5 nodes, 2-hop perception.
+      {24, 0.0, 15, DependencyParams{2.0, 1.0}, "graph", 120, 4, 0.1},
+      // Crowded: more agents than nodes, wide hop radius, heavy merging.
+      {40, 0.0, 12, DependencyParams{3.0, 1.0}, "graph", 30, 6, 0.2},
+      // Pure ring (no shortcuts): worst-case BFS depth, fractional radius
+      // exercises the floor(r) hop bound.
+      {12, 0.0, 15, DependencyParams{2.5, 1.0}, "graph", 48, 2, 0.0},
+      // Immobile agents on a graph: pure blocking, no index updates.
+      {16, 0.0, 20, DependencyParams{1.0, 0.0}, "graph", 64, 4, 0.1},
+  };
+  return kShapes;
 }
 
-/// Every externally observable bit of one agent's state.
-void expect_agents_equal(const Scoreboard& a, const Scoreboard& b) {
-  ASSERT_EQ(a.agent_count(), b.agent_count());
-  for (std::size_t i = 0; i < a.agent_count(); ++i) {
-    const auto id = static_cast<AgentId>(i);
-    ASSERT_EQ(a.step_of(id), b.step_of(id)) << "agent " << id;
-    ASSERT_EQ(a.pos_of(id), b.pos_of(id)) << "agent " << id;
-    ASSERT_EQ(a.status_of(id), b.status_of(id)) << "agent " << id;
-    ASSERT_EQ(a.blockers_of(id), b.blockers_of(id)) << "agent " << id;
-    ASSERT_EQ(a.cluster_of(id), b.cluster_of(id)) << "agent " << id;
-  }
-  ASSERT_EQ(a.min_step(), b.min_step());
-  ASSERT_EQ(a.mean_blockers(), b.mean_blockers());
-  const ScoreboardStats& sa = a.stats();
-  const ScoreboardStats& sb = b.stats();
-  ASSERT_EQ(sa.clusters_dispatched, sb.clusters_dispatched);
-  ASSERT_EQ(sa.commits, sb.commits);
-  ASSERT_EQ(sa.edges_added, sb.edges_added);
-  ASSERT_EQ(sa.edges_removed, sb.edges_removed);
-  ASSERT_EQ(sa.max_concurrent_running, sb.max_concurrent_running);
-  ASSERT_EQ(sa.sum_cluster_sizes, sb.sum_cluster_sizes);
+TEST(ScoreboardDifferential, SweepIndexedMatchesBruteAcrossMetricsAndSeeds) {
+  run_differential_sweep(sweep_shapes(), /*n_seeds=*/16);
 }
 
-struct DiffParam {
-  int n_agents;
-  double spread;  // initial max coordinate
-  Step target;
-  std::uint64_t seed;
-  DependencyParams params;
-  const char* metric;
-};
-
-class ScoreboardDifferential : public ::testing::TestWithParam<DiffParam> {};
-
-TEST_P(ScoreboardDifferential, IndexedMatchesBruteForceAtEveryCommit) {
-  const DiffParam p = GetParam();
-  Rng rng(p.seed);
-  std::vector<Pos> initial;
-  for (int i = 0; i < p.n_agents; ++i) {
-    initial.push_back(
-        Pos{rng.uniform(0.0, p.spread), rng.uniform(0.0, p.spread)});
+TEST(DifferentialHarness, ReproStringRoundTripsEveryShape) {
+  // The shrink mode is only useful if the printed tuple parses back to
+  // the exact case that failed.
+  for (const DiffShape& shape : sweep_shapes()) {
+    const DiffCase c{shape, 4242};
+    const auto parsed = parse_repro(repro_string(c));
+    ASSERT_TRUE(parsed.has_value()) << repro_string(c);
+    EXPECT_EQ(repro_string(*parsed), repro_string(c));
   }
-  const auto metric = metric_by_name(p.metric);
-  Scoreboard indexed(p.params, metric, initial, p.target, ScanMode::kIndexed);
-  Scoreboard brute(p.params, metric, initial, p.target,
-                   ScanMode::kBruteForce);
-  expect_agents_equal(indexed, brute);
-
-  // One executor loop drives both boards: the ready sequences are equal
-  // (asserted), so shuffled commit picks and randomized moves hit both
-  // identically. Out-of-order pressure comes from committing a random
-  // in-flight cluster each round, which builds up real lag spreads.
-  std::vector<AgentCluster> in_flight;
-  std::uint64_t commits = 0;
-  while (!indexed.all_done()) {
-    auto ready_i = indexed.pop_ready_clusters();
-    const auto ready_b = brute.pop_ready_clusters();
-    ASSERT_EQ(ready_i.size(), ready_b.size());
-    for (std::size_t k = 0; k < ready_i.size(); ++k) {
-      ASSERT_EQ(ready_i[k].step, ready_b[k].step);
-      ASSERT_EQ(ready_i[k].members, ready_b[k].members);
-    }
-    for (auto& c : ready_i) in_flight.push_back(std::move(c));
-    ASSERT_FALSE(in_flight.empty()) << "scheduler stalled";
-    const std::size_t pick = static_cast<std::size_t>(
-        rng.uniform_int(0, static_cast<std::int64_t>(in_flight.size()) - 1));
-    AgentCluster cluster = std::move(in_flight[pick]);
-    in_flight.erase(in_flight.begin() + static_cast<std::ptrdiff_t>(pick));
-    std::vector<std::pair<AgentId, Pos>> moves;
-    for (AgentId m : cluster.members) {
-      Pos pos = indexed.pos_of(m);
-      const double angle = rng.uniform(0.0, 2.0 * M_PI);
-      const double dist = rng.uniform(0.0, p.params.max_vel);
-      // Chebyshev displacement of a unit vector can exceed 1 only for
-      // Euclidean; scale so every metric sees a legal move.
-      const double scale =
-          std::string(p.metric) == "euclidean" ? 1.0 : 0.5;
-      pos.x += std::cos(angle) * dist * scale;
-      pos.y += std::sin(angle) * dist * scale;
-      moves.emplace_back(m, pos);
-    }
-    indexed.commit(moves);
-    brute.commit(moves);
-    ++commits;
-    expect_agents_equal(indexed, brute);
-    if (commits % 11 == 0) {
-      indexed.check_invariants();
-      brute.check_invariants();
-    }
-  }
-  EXPECT_TRUE(brute.all_done());
-  EXPECT_EQ(indexed.min_step(), p.target);
-  indexed.check_invariants();
-  brute.check_invariants();
+  EXPECT_FALSE(parse_repro("metric=graph bogus_key=1").has_value());
+  EXPECT_FALSE(parse_repro("agents=twelve").has_value());
 }
 
-INSTANTIATE_TEST_SUITE_P(
-    Shapes, ScoreboardDifferential,
-    ::testing::Values(
-        // Dense coupling: big clusters, lots of merging.
-        DiffParam{24, 30.0, 20, 11, DependencyParams{4.0, 1.0}, "euclidean"},
-        // Sparse: independence, long lag spreads, tight radius bound.
-        DiffParam{40, 400.0, 25, 12, DependencyParams{4.0, 1.0}, "euclidean"},
-        // Mixed occupancy, different seed.
-        DiffParam{64, 120.0, 15, 13, DependencyParams{4.0, 1.0}, "euclidean"},
-        // Large perception radius: blocking dominates.
-        DiffParam{32, 80.0, 12, 14, DependencyParams{10.0, 1.0}, "euclidean"},
-        // Slow agents: lag cones grow slowly.
-        DiffParam{24, 40.0, 18, 15, DependencyParams{3.0, 0.25}, "euclidean"},
-        // Non-Euclidean grid metrics exercise the box-superset filter.
-        DiffParam{32, 60.0, 15, 16, DependencyParams{4.0, 1.0}, "manhattan"},
-        DiffParam{32, 60.0, 15, 17, DependencyParams{4.0, 1.0}, "chebyshev"},
-        // Degenerate single agent.
-        DiffParam{1, 5.0, 30, 18, DependencyParams{4.0, 1.0}, "euclidean"}));
-
-TEST(ScoreboardIndex, GraphMetricFallsBackAndStillMatchesBrute) {
-  // GraphMetric positions encode node ids, not coordinates, so indexed
-  // mode must fall back to full scans — and remain identical to an
-  // explicitly brute board. 0-1-2-3-4 chain, radius 1, no movement.
+TEST(ScoreboardIndex, GraphMetricRunsIndexedNotFallback) {
+  // GraphMetric positions encode node ids, so the box index cannot serve
+  // it — but the adjacency seam hands the scoreboard a GraphIndex, and
+  // indexed mode must genuinely use it (and still match brute force; the
+  // sweep above covers the matching at scale).
   auto metric = std::make_shared<GraphMetric>(
       std::vector<std::vector<std::int32_t>>{{1}, {0, 2}, {1, 3}, {2, 4}, {3}});
   DependencyParams params{1.0, 0.0};
@@ -156,6 +92,8 @@ TEST(ScoreboardIndex, GraphMetricFallsBackAndStillMatchesBrute) {
   for (int i = 0; i < 5; ++i) nodes.push_back(Pos{static_cast<double>(i), 0});
   Scoreboard indexed(params, metric, nodes, 6, ScanMode::kIndexed);
   Scoreboard brute(params, metric, nodes, 6, ScanMode::kBruteForce);
+  EXPECT_TRUE(indexed.use_graph_index());
+  EXPECT_FALSE(brute.use_graph_index());
   while (!indexed.all_done()) {
     const auto ready_i = indexed.pop_ready_clusters();
     const auto ready_b = brute.pop_ready_clusters();
@@ -166,8 +104,9 @@ TEST(ScoreboardIndex, GraphMetricFallsBackAndStillMatchesBrute) {
       indexed.commit(moves);
       brute.commit(moves);
     }
-    expect_agents_equal(indexed, brute);
+    test_support::expect_scoreboards_equal(indexed, brute);
   }
+  indexed.check_invariants();
 }
 
 TEST(ScoreboardIndex, MinStepIsMaintainedIncrementally) {

@@ -1,12 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "common/rng.h"
+#include "core/metric.h"
+#include "world/graph_index.h"
 #include "world/grid_map.h"
 #include "world/pathfinding.h"
+#include "world/social_graph.h"
 #include "world/spatial_index.h"
 #include "world/world_state.h"
 
@@ -153,6 +158,122 @@ TEST(SpatialIndex, QueryIntoBufferReusesCapacityAndSorts) {
   idx.update(0, Pos{1.0, 1.0});
   idx.query_box_into(Pos{0, 0}, 0.5, &buf);
   EXPECT_TRUE(buf.empty());
+}
+
+TEST(SocialGraph, NewmanWattsIsConnectedSortedAndDeterministic) {
+  const auto adj = newman_watts_graph(/*nodes=*/50, /*degree=*/4,
+                                      /*shortcut_prob=*/0.3, /*seed=*/9);
+  ASSERT_EQ(adj.size(), 50u);
+  for (std::size_t i = 0; i < adj.size(); ++i) {
+    EXPECT_TRUE(std::is_sorted(adj[i].begin(), adj[i].end())) << "node " << i;
+    EXPECT_TRUE(std::adjacent_find(adj[i].begin(), adj[i].end()) ==
+                adj[i].end())
+        << "duplicate neighbor at node " << i;
+    for (std::int32_t j : adj[i]) {
+      ASSERT_GE(j, 0);
+      ASSERT_LT(j, 50);
+      EXPECT_NE(j, static_cast<std::int32_t>(i)) << "self-loop at " << i;
+      // Undirected: every edge appears from both ends.
+      EXPECT_TRUE(std::binary_search(adj[static_cast<std::size_t>(j)].begin(),
+                                     adj[static_cast<std::size_t>(j)].end(),
+                                     static_cast<std::int32_t>(i)));
+    }
+    // The ring lattice is kept intact (shortcuts only add edges), so
+    // every node keeps at least its degree-4 ring neighborhood.
+    EXPECT_GE(adj[i].size(), 4u) << "node " << i;
+  }
+  // Connected: BFS from node 0 reaches everything (the ring guarantees
+  // it; this pins the guarantee).
+  std::vector<bool> seen(adj.size(), false);
+  std::vector<std::int32_t> stack{0};
+  seen[0] = true;
+  std::size_t reached = 1;
+  while (!stack.empty()) {
+    const std::int32_t v = stack.back();
+    stack.pop_back();
+    for (std::int32_t w : adj[static_cast<std::size_t>(v)]) {
+      if (!seen[static_cast<std::size_t>(w)]) {
+        seen[static_cast<std::size_t>(w)] = true;
+        ++reached;
+        stack.push_back(w);
+      }
+    }
+  }
+  EXPECT_EQ(reached, adj.size());
+  // Deterministic in the seed; shortcut_prob > 0 actually adds shortcuts.
+  EXPECT_EQ(newman_watts_graph(50, 4, 0.3, 9), adj);
+  EXPECT_NE(newman_watts_graph(50, 4, 0.3, 10), adj);
+  std::size_t edge_ends = 0;
+  for (const auto& nbrs : adj) edge_ends += nbrs.size();
+  EXPECT_GT(edge_ends, 50u * 4u);  // ring + at least one shortcut
+  // Degenerate knobs are rejected loudly.
+  EXPECT_THROW(newman_watts_graph(2, 2, 0.1, 1), CheckError);
+  EXPECT_THROW(newman_watts_graph(10, 3, 0.1, 1), CheckError);   // odd degree
+  EXPECT_THROW(newman_watts_graph(10, 10, 0.1, 1), CheckError);  // >= nodes
+}
+
+TEST(GraphIndex, InsertRemoveUpdateAndBallProbes) {
+  // 0-1-2-3-4 chain: hop balls are exactly id ranges.
+  const std::vector<std::vector<std::int32_t>> adj{
+      {1}, {0, 2}, {1, 3}, {2, 4}, {3}};
+  GraphIndex idx(&adj);
+  EXPECT_EQ(idx.node_count(), 5);
+  for (AgentId i = 0; i < 5; ++i) {
+    idx.insert(i, Pos{static_cast<double>(i), 0});
+  }
+  EXPECT_EQ(idx.size(), 5u);
+  EXPECT_EQ(idx.query_ball(Pos{2, 0}, 1.0), (std::vector<AgentId>{1, 2, 3}));
+  // floor(1.9) = 1 hop: fractional radii round down (hop distances are
+  // integral, so this IS the metric ball of radius 1.9).
+  EXPECT_EQ(idx.query_ball(Pos{2, 0}, 1.9), (std::vector<AgentId>{1, 2, 3}));
+  EXPECT_EQ(idx.query_ball(Pos{0, 0}, 0.0), (std::vector<AgentId>{0}));
+  EXPECT_EQ(idx.query_ball(Pos{0, 0}, 10.0),
+            (std::vector<AgentId>{0, 1, 2, 3, 4}));
+  idx.remove(2);
+  EXPECT_EQ(idx.query_ball(Pos{2, 0}, 1.0), (std::vector<AgentId>{1, 3}));
+  idx.remove(2);  // no-op
+  EXPECT_EQ(idx.size(), 4u);
+  idx.update(0, Pos{4, 0});  // move across the chain
+  EXPECT_EQ(idx.query_ball(Pos{4, 0}, 1.0), (std::vector<AgentId>{0, 3, 4}));
+  idx.update(2, Pos{2, 0});  // insert-or-move inserts
+  EXPECT_TRUE(idx.contains(2));
+  EXPECT_EQ(idx.position(2), (Pos{2, 0}));
+  // Crowds: many agents on one node all come back, sorted by id.
+  idx.update(4, Pos{2, 0});
+  idx.update(1, Pos{2, 0});
+  EXPECT_EQ(idx.query_ball(Pos{2, 0}, 0.0), (std::vector<AgentId>{1, 2, 4}));
+}
+
+TEST(GraphIndex, RandomizedBallMatchesBruteMetricScan) {
+  // The exactness claim behind the scoreboard's graph probes: the
+  // depth-floor(r) BFS ball equals the set of agents whose GraphMetric
+  // distance is <= r, for random small-world graphs, placements, centers,
+  // and (fractional) radii.
+  Rng rng(77);
+  for (int round = 0; round < 8; ++round) {
+    const int nodes = 20 + 15 * round;
+    const auto adj = newman_watts_graph(nodes, 4, 0.15, 900 + round);
+    const core::GraphMetric metric(adj);
+    GraphIndex idx(&adj);
+    std::vector<Pos> pos;
+    const int n_agents = 10 + 7 * round;
+    for (AgentId i = 0; i < n_agents; ++i) {
+      pos.push_back(Pos{static_cast<double>(rng.uniform_int(0, nodes - 1)), 0});
+      idx.insert(i, pos.back());
+    }
+    for (double radius : {0.0, 1.0, 1.5, 2.0, 2.9, 3.0, 6.0}) {
+      const Pos center{static_cast<double>(rng.uniform_int(0, nodes - 1)), 0};
+      std::vector<AgentId> brute;
+      for (AgentId i = 0; i < n_agents; ++i) {
+        if (metric.distance(center, pos[static_cast<std::size_t>(i)]) <=
+            radius) {
+          brute.push_back(i);
+        }
+      }
+      EXPECT_EQ(idx.query_ball(center, radius), brute)
+          << "round " << round << " radius " << radius;
+    }
+  }
 }
 
 TEST(Pathfinding, ShortestOnOpenGrid) {
@@ -307,6 +428,75 @@ TEST_F(WorldStateTest, EventsFilteredAndSorted) {
   EXPECT_EQ(near[1].source, 1);
   EXPECT_TRUE(w.events_near(Pos{5, 5}, 4.0, 4, 9).empty());
   EXPECT_EQ(w.event_count(), 3u);
+}
+
+TEST_F(WorldStateTest, AgentsWithinMatchesLinearScan) {
+  // The shared-index perception query must equal the obvious O(n) scan
+  // for randomized placements, centers, and radii (including radii far
+  // beyond the index cell size and zero-radius self-hits).
+  Rng rng(123);
+  GridMap map(40, 40);
+  std::vector<Tile> tiles;
+  for (int i = 0; i < 60; ++i) {
+    tiles.push_back(Tile{static_cast<std::int32_t>(rng.uniform_int(0, 39)),
+                         static_cast<std::int32_t>(rng.uniform_int(0, 39))});
+  }
+  WorldState w(&map, tiles);
+  for (int probe = 0; probe < 40; ++probe) {
+    const Pos center{rng.uniform(0.0, 40.0), rng.uniform(0.0, 40.0)};
+    const double radius = rng.uniform(0.0, probe % 4 == 0 ? 60.0 : 8.0);
+    std::vector<AgentId> brute;
+    for (std::size_t i = 0; i < tiles.size(); ++i) {
+      if (euclidean(tiles[i].center(), center) <= radius) {
+        brute.push_back(static_cast<AgentId>(i));
+      }
+    }
+    EXPECT_EQ(w.agents_within(center, radius), brute)
+        << "probe " << probe << " radius " << radius;
+  }
+}
+
+TEST(WorldStateGraph, NodesAreVenuesMovesFollowEdges) {
+  // Graph mode: legality is edge membership, and nodes hold crowds — the
+  // exclusive-occupancy rules of grid mode must NOT apply.
+  const std::vector<std::vector<std::int32_t>> adj{
+      {1}, {0, 2}, {1, 3}, {2}};
+  GridMap substrate(4, 1);
+  WorldState w(&substrate, {Tile{0, 0}, Tile{1, 0}, Tile{1, 0}}, &adj);
+  EXPECT_TRUE(w.graph_world());
+  EXPECT_EQ(w.tile_of(1), w.tile_of(2));  // two agents share node 1
+
+  // Edge move onto an occupied node succeeds (venues, not tiles).
+  std::vector<StepIntent> intents(1);
+  intents[0].agent = 0;
+  intents[0].move_to = Tile{1, 0};
+  auto outcomes = w.resolve_conflict_and_commit(0, intents);
+  EXPECT_TRUE(outcomes[0].move_ok);
+  EXPECT_EQ(w.tile_of(0), (Tile{1, 0}));  // three agents on node 1 now
+
+  // Non-edge hops are denied: node 1's neighbors are {0, 2}, not 3.
+  intents[0].move_to = Tile{3, 0};
+  outcomes = w.resolve_conflict_and_commit(1, intents);
+  EXPECT_FALSE(outcomes[0].move_ok);
+  EXPECT_EQ(w.tile_of(0), (Tile{1, 0}));
+
+  // Staying put is always legal; out-of-bounds nodes are denied.
+  intents[0].move_to = Tile{1, 0};
+  EXPECT_TRUE(w.resolve_conflict_and_commit(2, intents)[0].move_ok);
+  intents[0].move_to = Tile{7, 0};
+  EXPECT_FALSE(w.resolve_conflict_and_commit(3, intents)[0].move_ok);
+
+  // Two agents converging on the same node both win — no conflict.
+  std::vector<StepIntent> both(2);
+  both[0].agent = 1;
+  both[0].move_to = Tile{2, 0};
+  both[1].agent = 2;
+  both[1].move_to = Tile{2, 0};
+  const auto pair = w.resolve_conflict_and_commit(4, both);
+  EXPECT_TRUE(pair[0].move_ok);
+  EXPECT_TRUE(pair[1].move_ok);
+  EXPECT_EQ(w.tile_of(1), (Tile{2, 0}));
+  EXPECT_EQ(w.tile_of(2), (Tile{2, 0}));
 }
 
 TEST_F(WorldStateTest, StateHashDetectsDifferences) {
