@@ -72,4 +72,33 @@ void print_header(const std::string& title);
 void print_row(const std::vector<std::string>& cells,
                const std::vector<int>& widths);
 
+// ---- Perf-trajectory JSON emitter ----
+//
+// Bench binaries accept `--json <dir>` (or `--json=<dir>`): each wired
+// benchmark then writes a machine-readable `BENCH_<benchmark>.json` under
+// <dir> alongside its console output, so CI can accumulate a perf
+// trajectory instead of scraping logs. One record per (benchmark, N,
+// shards) cell; peak RSS is the process high-water mark at write time.
+
+struct BenchRecord {
+  std::string benchmark;
+  std::int64_t n = 0;        // problem size (agents, nodes, ...)
+  std::int32_t shards = 1;   // region partition, 1 when not applicable
+  double ms = 0.0;           // wall milliseconds per iteration
+};
+
+/// Remove `--json <dir>` / `--json=<dir>` from argv (compacting it and
+/// updating *argc) so downstream flag parsers never see it. Returns the
+/// directory, empty when the flag is absent.
+std::string strip_json_flag(int* argc, char** argv);
+
+/// Current process peak RSS in KiB (getrusage high-water mark).
+std::int64_t peak_rss_kib();
+
+/// Write one `BENCH_<benchmark>.json` per distinct record.benchmark under
+/// `dir` (a flat JSON array of {benchmark, n, shards, ms, peak_rss_kib}).
+/// No-op when dir is empty; check-fails when a file cannot be written.
+void write_bench_json(const std::string& dir,
+                      const std::vector<BenchRecord>& records);
+
 }  // namespace aimetro::bench

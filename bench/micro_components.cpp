@@ -3,20 +3,25 @@
 #include <benchmark/benchmark.h>
 
 #include <atomic>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
+#include "common/mutex.h"
 #include "common/rng.h"
 #include "core/metric.h"
 #include "core/scoreboard.h"
 #include "des/event_loop.h"
 #include "kv/store.h"
 #include "llm/cost_model.h"
+#include "runtime/engine.h"
 #include "runtime/task_pool.h"
 #include "world/graph_index.h"
 #include "world/pathfinding.h"
 #include "world/social_graph.h"
 #include "world/spatial_index.h"
+#include "world/world_state.h"
 
 namespace {
 
@@ -109,6 +114,8 @@ void BM_ScoreboardCommit(benchmark::State& state, core::ScanMode mode) {
     benchmark::DoNotOptimize(steps);
   }
   state.SetItemsProcessed(state.iterations() * n * kTarget);
+  state.counters["N"] = n;
+  state.counters["shards"] = 1;
 }
 BENCHMARK_CAPTURE(BM_ScoreboardCommit, brute, core::ScanMode::kBruteForce)
     ->Arg(100)
@@ -158,6 +165,8 @@ void BM_GraphNeighborQuery(benchmark::State& state, bool indexed) {
     benchmark::ClobberMemory();
   }
   state.SetItemsProcessed(state.iterations());
+  state.counters["N"] = n;
+  state.counters["shards"] = 1;
 }
 BENCHMARK_CAPTURE(BM_GraphNeighborQuery, brute, false)
     ->Arg(100)
@@ -167,6 +176,67 @@ BENCHMARK_CAPTURE(BM_GraphNeighborQuery, indexed, true)
     ->Arg(100)
     ->Arg(1000)
     ->Arg(10000);
+
+// End-to-end engine commits under the boundary-lag protocol: 10k agents
+// random-walking a wide arena (2048 tiles across — each of 8 strips is
+// ~256 wide against a ~15-tile blocking+coupling radius, so nearly every
+// commit is interior). Arg = shards. The shards=1 row is the old global
+// commit lock; the shards=8 row is the same workload with interior
+// commits striped across per-shard mutexes. The step function is a
+// zero-latency hash walk, so the commit path IS the workload — the gap
+// between the rows is the contention the partition removes.
+void BM_ShardedCommit(benchmark::State& state) {
+  const auto shards = static_cast<std::int32_t>(state.range(0));
+  constexpr int kAgents = 10000;
+  constexpr Step kTarget = 3;
+  const auto map = world::GridMap::arena(2048, 8);
+  std::vector<Tile> starts;
+  starts.reserve(kAgents);
+  for (int i = 0; i < kAgents; ++i) {
+    starts.push_back(Tile{i % 2048, i / 2048});
+  }
+  auto step_fn = [&map](const core::AgentCluster& cluster,
+                        const world::WorldState& w) {
+    std::vector<world::StepIntent> intents;
+    intents.reserve(cluster.members.size());
+    for (AgentId m : cluster.members) {
+      Tile t;
+      {
+        common::ReaderLock lock(w.mutex());
+        t = w.tile_of(m);
+      }
+      // Deterministic per-(agent, step) drift along x; stays walkable
+      // because the arena has no obstacles.
+      const std::uint64_t h =
+          (static_cast<std::uint64_t>(m) * 2654435761u) ^
+          (static_cast<std::uint64_t>(cluster.step) * 40503u);
+      Tile next{t.x + static_cast<std::int32_t>(h % 3) - 1, t.y};
+      world::StepIntent intent;
+      intent.agent = m;
+      if (map.in_bounds(next) && map.walkable(next)) intent.move_to = next;
+      intents.push_back(intent);
+    }
+    return intents;
+  };
+  for (auto _ : state) {
+    state.PauseTiming();
+    world::WorldState world(&map, starts);
+    runtime::EngineConfig cfg;
+    cfg.params = core::DependencyParams{4.0, 1.0};
+    cfg.target_step = kTarget;
+    cfg.n_workers = 8;
+    cfg.shards = shards;
+    cfg.kv_instrumentation = false;
+    runtime::Engine engine(&world, cfg, step_fn);
+    state.ResumeTiming();
+    const auto stats = engine.run();
+    benchmark::DoNotOptimize(stats.commits);
+  }
+  state.SetItemsProcessed(state.iterations() * kAgents * kTarget);
+  state.counters["N"] = kAgents;
+  state.counters["shards"] = shards;
+}
+BENCHMARK(BM_ShardedCommit)->Arg(1)->Arg(8)->Unit(benchmark::kMillisecond);
 
 void BM_AStarSmallville(benchmark::State& state) {
   const auto map = world::GridMap::smallville(25);
@@ -235,6 +305,51 @@ void BM_CostModelIteration(benchmark::State& state) {
 }
 BENCHMARK(BM_CostModelIteration);
 
+// Tees every run that carries an "N" counter into BenchRecords (the
+// benchmarks wired into the perf trajectory set it; the rest only print).
+// Console output is unchanged — this subclass only observes.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      auto n_it = run.counters.find("N");
+      if (n_it == run.counters.end() || run.error_occurred) continue;
+      aimetro::bench::BenchRecord rec;
+      rec.benchmark = run.run_name.function_name;
+      for (char& c : rec.benchmark) {
+        if (c == '/') c = '_';
+      }
+      rec.n = static_cast<std::int64_t>(n_it->second.value);
+      auto s_it = run.counters.find("shards");
+      if (s_it != run.counters.end()) {
+        rec.shards = static_cast<std::int32_t>(s_it->second.value);
+      }
+      rec.ms = run.iterations > 0 ? run.real_accumulated_time /
+                                        static_cast<double>(run.iterations) *
+                                        1e3
+                                  : 0.0;
+      records_.push_back(std::move(rec));
+    }
+  }
+
+  const std::vector<aimetro::bench::BenchRecord>& records() const {
+    return records_;
+  }
+
+ private:
+  std::vector<aimetro::bench::BenchRecord> records_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_dir = aimetro::bench::strip_json_flag(&argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonTeeReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  aimetro::bench::write_bench_json(json_dir, reporter.records());
+  benchmark::Shutdown();
+  return 0;
+}

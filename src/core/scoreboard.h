@@ -27,8 +27,26 @@
 // brute-force full-scan reference path is retained for differential
 // testing (ScanMode::kBruteForce); define AIMETRO_SCOREBOARD_NO_BRUTE to
 // compile it out.
+//
+// Sharding (the boundary-lag protocol, docs/ARCHITECTURE.md "Sharded
+// world"): with `shards > 1` the world is cut into equal-width x-strips
+// (world::RegionPartition) and every per-position structure — spatial
+// index, live-step counts, idle clusters, dirty sets, stats — lives in
+// the strip that owns the position. Probes fan out over exactly the
+// strips their box overlaps and re-sort by id, so every observable bit
+// (edges, clusters, stats, dispatch order) is byte-identical to the
+// single-shard board. Agents whose blocking-radius box straddles a strip
+// border register in every overlapped strip's border set, and clusters
+// whose members span strips are counted per strip; both feed
+// local_commit_shard(), which tells a concurrent caller (the engine)
+// whether a commit is provably confined to one strip — the precondition
+// for taking a per-shard lock instead of the exclusive one. The
+// scoreboard itself stays unsynchronized: callers serialize commits that
+// local_commit_shard() maps to the same strip (or to no strip) exactly
+// as they serialized whole-board commits before.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -42,6 +60,7 @@
 #include "core/dependency_rules.h"
 #include "core/metric.h"
 #include "world/graph_index.h"
+#include "world/region_partition.h"
 #include "world/spatial_index.h"
 
 namespace aimetro::core {
@@ -67,6 +86,10 @@ enum class AgentStatus : std::uint8_t { kIdle, kRunning, kDone };
 ///    when AIMETRO_SCOREBOARD_NO_BRUTE is defined.
 enum class ScanMode : std::uint8_t { kIndexed, kBruteForce };
 
+/// Hard cap on the region partition (and the encoding of shard ids into
+/// the low bits of cluster ids).
+inline constexpr std::int32_t kMaxShards = 64;
+
 struct ScoreboardStats {
   std::uint64_t clusters_dispatched = 0;
   std::uint64_t commits = 0;
@@ -85,30 +108,72 @@ class Scoreboard {
  public:
   /// Agents start idle at step 0 at `initial_positions`; the simulation
   /// finishes when every agent has committed `target_step` steps.
+  /// `shards` in [1, kMaxShards] requests a region partition; it takes
+  /// effect only on the spatial-index probe path (kIndexed with a
+  /// Chebyshev-bounded metric) and silently collapses to 1 otherwise —
+  /// observable behavior is identical either way.
   Scoreboard(DependencyParams params, std::shared_ptr<const Metric> metric,
              std::vector<Pos> initial_positions, Step target_step,
-             ScanMode mode = ScanMode::kIndexed);
+             ScanMode mode = ScanMode::kIndexed, std::int32_t shards = 1);
 
   // ---- Controller side ----
   /// All clusters that are ready right now (every member idle and
   /// unblocked). Members are marked running; the caller must eventually
   /// commit() each returned cluster. Ordered by (step, first member).
   std::vector<AgentCluster> pop_ready_clusters();
+  /// The same, restricted to clusters homed in strip `shard`. Safe to
+  /// call concurrently with pops/commits in other strips only while the
+  /// strip has no cross-strip clusters (cross_cluster_count(shard) == 0,
+  /// which local_commit_shard() verifies).
+  std::vector<AgentCluster> pop_ready_clusters_in_shard(std::int32_t shard);
 
   // ---- Worker side ----
   /// Commit one dispatched cluster: each member's position after the step.
   /// Members advance to step+1 (or Done at target_step).
-  void commit(const std::vector<std::pair<AgentId, Pos>>& moves);
+  ///
+  /// `probe_floor` is a lower bound on min_step() used to bound the
+  /// blocking-radius probes; -1 (the default) reads the exact live
+  /// minimum. A concurrent caller passes its own monotonic floor so a
+  /// strip-local commit never reads the other strips' live-step tables;
+  /// a looser floor only widens the probe boxes (the exact predicates
+  /// filter the extras), so results are identical for any valid floor.
+  void commit(const std::vector<std::pair<AgentId, Pos>>& moves,
+              Step probe_floor = -1);
+
+  /// Boundary-lag classification for a concurrent caller: the single
+  /// strip this commit is provably confined to, or -1 if it must be
+  /// treated as cross-shard. Confined means: every member's old/new
+  /// influence box (blocking_radius(target - probe_floor) plus the
+  /// coupling radius) lies inside one strip s, every member's border
+  /// registration is single-strip on s, and strip s currently has no
+  /// cross-strip clusters. Only reads state owned by the committing
+  /// cluster plus one atomic counter, so it is safe to call while other
+  /// strips commit.
+  std::int32_t local_commit_shard(
+      const std::vector<std::pair<AgentId, Pos>>& moves,
+      Step probe_floor) const;
 
   // ---- Introspection ----
   std::size_t agent_count() const { return agents_.size(); }
   Step target_step() const { return target_step_; }
   ScanMode scan_mode() const { return mode_; }
+  /// Effective shard count (1 unless the spatial-index path is active).
+  std::int32_t shards() const { return shards_; }
+  /// Home strip of a position under the region partition.
+  std::int32_t shard_of_pos(Pos pos) const { return partition_.shard_of(pos); }
+  /// Live agents currently registered in strip `shard`'s border set
+  /// (their blocking-radius box straddles a strip boundary).
+  std::size_t border_count(std::int32_t shard) const;
+  /// Idle clusters whose members span multiple strips, counted against
+  /// every strip they touch.
+  std::int32_t cross_cluster_count(std::int32_t shard) const;
   /// True when kIndexed probes are answered by the hop-bounded graph
   /// index (non-Chebyshev metric exposing a graph adjacency) rather than
   /// the spatial box index. False in brute mode either way.
   bool use_graph_index() const { return graph_live_index_ != nullptr; }
-  bool all_done() const { return done_count_ == agents_.size(); }
+  bool all_done() const {
+    return done_count_.load(std::memory_order_acquire) == agents_.size();
+  }
   Step step_of(AgentId id) const { return agent(id).step; }
   Pos pos_of(AgentId id) const { return agent(id).pos; }
   AgentStatus status_of(AgentId id) const { return agent(id).status; }
@@ -118,9 +183,15 @@ class Scoreboard {
   /// Members of the idle cluster containing `id` (empty if not idle).
   std::vector<AgentId> cluster_of(AgentId id) const;
   /// Smallest step any agent is still about to execute (target_step once
-  /// everyone is done). O(1): maintained incrementally from commits.
+  /// everyone is done). A lazily-combined min over the per-strip
+  /// incrementally-maintained minimums: O(shards).
   Step min_step() const;
-  const ScoreboardStats& stats() const { return stats_; }
+  /// Stats rolled up across strips (sums, except max_concurrent_running
+  /// which is a max of per-dispatch snapshots of the global counter).
+  ScoreboardStats stats() const;
+  /// Per-strip stats (commits/edges attributed to the strip that owns
+  /// the touched position).
+  const ScoreboardStats& shard_stats(std::int32_t shard) const;
 
   /// Mean number of blockers per blocked-check, a sparsity measure
   /// comparable to the paper's "each agent depends on only 1.85 agents".
@@ -128,8 +199,9 @@ class Scoreboard {
 
   /// Throws CheckError if the Appendix A validity condition is violated
   /// for any agent pair, if internal edge/cluster bookkeeping is
-  /// inconsistent, or if the spatial index / live-step bookkeeping has
-  /// drifted from the agent table. O(n^2); meant for tests.
+  /// inconsistent, or if the spatial index / live-step / border-set
+  /// bookkeeping has drifted from the agent table. O(n^2); meant for
+  /// tests.
   void check_invariants() const;
 
   /// Graphviz dot rendering of the current graph (Figure 3 style).
@@ -143,71 +215,126 @@ class Scoreboard {
     std::set<AgentId> blocked_by;  // B in blocked_by => B blocks this agent
     std::set<AgentId> blocks;      // reverse edges
     std::int64_t cluster = -1;     // idle cluster id, -1 when not idle
+    // Border registration: the strip span of the blocking-radius box at
+    // the last position/step change. Multi-strip spans are mirrored into
+    // the border sets of every strip they touch.
+    std::int32_t border_lo = 0;
+    std::int32_t border_hi = 0;
   };
 
   struct ClusterRec {
     Step step = 0;
     std::vector<AgentId> members;
     std::int32_t blocked_members = 0;  // members with nonempty blocked_by
+    // Strip span of member positions; multi-strip spans are counted in
+    // cross_clusters for every strip in the span.
+    std::int32_t span_lo = 0;
+    std::int32_t span_hi = 0;
+  };
+
+  /// Everything owned by one strip of the region partition. With
+  /// shards() == 1 there is exactly one of these and the board behaves
+  /// exactly like the historical unsharded implementation.
+  struct ShardData {
+    explicit ShardData(double cell_size) : live_index(cell_size) {}
+    /// Live (non-done) agents homed in this strip, keyed by position —
+    /// the probe structure for recompute_blockers / cluster_in.
+    /// Maintained only when use_index().
+    world::SpatialIndex live_index;
+    /// Live agents per step; begin() is this strip's min. Maintained in
+    /// every mode: min_step() and the radius bound read it.
+    std::map<Step, std::int32_t> live_steps;
+    std::map<std::int64_t, ClusterRec> clusters;
+    /// Clusters touched since the last pop (candidates for readiness).
+    std::set<std::int64_t> dirty_clusters;
+    /// Idle agents bucketed by step (coupling candidates for the
+    /// brute-force path; pop bookkeeping either way).
+    std::map<Step, std::set<AgentId>> idle_by_step;
+    /// Agents whose border registration includes this strip.
+    std::set<AgentId> border_agents;
+    /// Idle clusters spanning this strip plus at least one other. A
+    /// relaxed atomic: readers (local_commit_shard) are ordered against
+    /// writers by the caller's locking protocol, not by this counter.
+    std::atomic<std::int32_t> cross_clusters{0};
+    /// Reusable candidate buffer so steady-state single-strip probes
+    /// allocate nothing.
+    std::vector<AgentId> probe_buf;
+    std::int64_t next_cluster_local = 0;
+    ScoreboardStats stats;
+    // mean_blockers bookkeeping
+    std::uint64_t blocker_samples = 0;
+    std::uint64_t blocker_total = 0;
   };
 
   AgentNode& agent(AgentId id);
   const AgentNode& agent(AgentId id) const;
+  ShardData& shard(std::int32_t s) { return *shards_data_[
+      static_cast<std::size_t>(s)]; }
+  const ShardData& shard(std::int32_t s) const { return *shards_data_[
+      static_cast<std::size_t>(s)]; }
+  /// Strip that owns `cid`'s record (encoded in the low bits).
+  static std::int32_t shard_of_cluster(std::int64_t cid) {
+    return static_cast<std::int32_t>(cid & (kMaxShards - 1));
+  }
 
   bool use_index() const { return mode_ == ScanMode::kIndexed && indexable_; }
-  /// Fill probe_buf_ with every live agent whose metric distance from
-  /// `center` could be <= radius (sorted by id; exact predicates applied
-  /// by the caller). Requires use_index() or use_graph_index().
-  void probe_into(const Pos& center, double radius);
+  /// Every live agent whose metric distance from `center` could be <=
+  /// radius (sorted by id; exact predicates applied by the caller).
+  /// Fans out over the strips the box overlaps. Requires use_index() or
+  /// use_graph_index().
+  const std::vector<AgentId>& probe_into(const Pos& center, double radius);
   /// Smallest step among live (non-done) agents; target_step when all
-  /// done. The tight bound for the blocking-radius box probe.
+  /// done. The tight bound for the blocking-radius box probe. Reads
+  /// every strip — concurrent commits pass probe_floor instead.
   Step min_live_step() const;
-  void live_step_advance(Step from, Step to, bool now_done);
+  void live_step_advance(std::int32_t from_strip, std::int32_t to_strip,
+                         Step from, Step to, bool now_done);
+  /// Recompute `id`'s border registration from its current position and
+  /// step, bounding the blocking radius with `floor` (no-op with one
+  /// shard).
+  void update_border_registration(AgentId id, Step floor);
 
   void add_edge(AgentId blocker, AgentId blocked);
   void remove_edge(AgentId blocker, AgentId blocked);
   /// Recompute blocked_by for `id` from scratch: a blocking_radius(max
-  /// live lag) box probe in indexed mode, a full scan otherwise.
-  void recompute_blockers(AgentId id);
+  /// live lag) box probe in indexed mode (lag bounded below by `floor`),
+  /// a full scan otherwise.
+  void recompute_blockers(AgentId id, Step floor);
   /// Re-check the agents `id` currently blocks; drop stale edges.
   void refresh_outgoing(AgentId id);
   void on_blocked_count_change(AgentId id, bool now_blocked);
   /// Place a newly idle agent into the idle clustering (may merge several
   /// existing clusters).
   void cluster_in(AgentId id);
-  std::int64_t new_cluster(Step step);
+  std::int64_t new_cluster(Step step, std::int32_t strip);
+  /// Member strip-span bookkeeping (keeps the cross_clusters counters
+  /// in sync; no-ops with one shard).
+  void span_counters_remove(const ClusterRec& rec);
+  void span_counters_add(const ClusterRec& rec);
+  void cluster_span_include(std::int64_t cid, std::int32_t strip);
+  void pop_shard_ready_into(std::int32_t strip,
+                            std::vector<AgentCluster>* ready);
 
   DependencyParams params_;
   std::shared_ptr<const Metric> metric_;
   Step target_step_;
   ScanMode mode_;
   bool indexable_ = false;  // metric admits box-superset probes
+  std::int32_t shards_ = 1;
+  world::RegionPartition partition_{1, 0.0, 0.0};
   std::vector<AgentNode> agents_;
-  std::map<std::int64_t, ClusterRec> clusters_;
-  /// Clusters touched since the last pop (candidates for readiness).
-  std::set<std::int64_t> dirty_clusters_;
-  /// Idle agents bucketed by step (coupling candidates for the
-  /// brute-force path; pop bookkeeping either way).
-  std::map<Step, std::set<AgentId>> idle_by_step_;
-  /// Live (non-done) agents keyed by position — the probe structure for
-  /// recompute_blockers / cluster_in. Maintained only when use_index().
-  world::SpatialIndex live_index_;
-  /// The graph-metric sibling of live_index_: live agents bucketed by
-  /// graph node, probed with hop-bounded BFS balls. Non-null exactly when
-  /// mode is kIndexed and the metric exposes an adjacency.
+  std::vector<std::unique_ptr<ShardData>> shards_data_;
+  /// The graph-metric sibling of the spatial indexes: live agents
+  /// bucketed by graph node, probed with hop-bounded BFS balls. Non-null
+  /// exactly when mode is kIndexed and the metric exposes an adjacency
+  /// (which forces shards() == 1).
   std::unique_ptr<world::GraphIndex> graph_live_index_;
-  /// Live agents per step; begin() is min_live_step. Maintained in every
-  /// mode: min_step() and the radius bound read it.
-  std::map<Step, std::int32_t> live_steps_;
-  /// Reusable candidate buffer so steady-state probes allocate nothing.
-  std::vector<AgentId> probe_buf_;
-  std::int64_t next_cluster_id_ = 0;
-  std::size_t done_count_ = 0;
-  std::size_t running_count_ = 0;
-  ScoreboardStats stats_;
-  // mean_blockers bookkeeping
-  std::uint64_t blocker_samples_ = 0;
-  std::uint64_t blocker_total_ = 0;
+  /// Merge buffers for probes that straddle strips. Only touched by
+  /// cross-shard probes, which callers serialize exclusively.
+  std::vector<AgentId> multi_probe_buf_;
+  std::vector<AgentId> strip_tmp_buf_;
+  std::atomic<std::size_t> done_count_{0};
+  std::atomic<std::size_t> running_count_{0};
 };
 
 }  // namespace aimetro::core

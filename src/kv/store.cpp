@@ -39,6 +39,10 @@ Store::Store(std::size_t shard_count) {
   }
 }
 
+std::size_t Store::shard_index(const std::string& key) const {
+  return hash_string(key) % shards_.size();
+}
+
 Store::Shard& Store::shard_for(const std::string& key) {
   return *shards_[hash_string(key) % shards_.size()];
 }
@@ -505,23 +509,37 @@ void Transaction::apply(const Command& cmd) {
 }
 
 TxnResult Transaction::exec() {
-  // Lock every shard in index order (consistent order -> deadlock-free; the
-  // lock-order validator sees the same ascending chain on every commit).
-  // The guard unlocks in reverse on scope exit so a throwing command (e.g.
-  // a WRONGTYPE check) cannot leak the store locked.
-  struct AllShards {
+  // Lock only the shards the watched/queued keys hash to, in index order
+  // (consistent ascending order -> deadlock-free; the lock-order validator
+  // sees a subsequence of the same chain on every commit). Transactions
+  // touching disjoint shard subsets commit concurrently. The guard unlocks
+  // in reverse on scope exit so a throwing command (e.g. a WRONGTYPE
+  // check) cannot leak the store locked.
+  std::vector<std::size_t> touched;
+  touched.reserve(watches_.size() + commands_.size());
+  for (const auto& [key, version] : watches_) {
+    touched.push_back(store_.shard_index(key));
+  }
+  for (const Command& cmd : commands_) {
+    touched.push_back(store_.shard_index(cmd.key));
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  struct TouchedShards {
     std::vector<std::unique_ptr<Store::Shard>>& shards;
-    explicit AllShards(std::vector<std::unique_ptr<Store::Shard>>& s)
-        : shards(s) {
-      for (auto& shard : shards) shard->mutex.lock();
+    const std::vector<std::size_t>& indices;
+    TouchedShards(std::vector<std::unique_ptr<Store::Shard>>& s,
+                  const std::vector<std::size_t>& idx)
+        : shards(s), indices(idx) {
+      for (std::size_t i : indices) shards[i]->mutex.lock();
     }
-    ~AllShards() {
-      for (auto it = shards.rbegin(); it != shards.rend(); ++it) {
-        (*it)->mutex.unlock();
+    ~TouchedShards() {
+      for (auto it = indices.rbegin(); it != indices.rend(); ++it) {
+        shards[*it]->mutex.unlock();
       }
     }
-  } all(store_.shards_);
-  // Validate watched versions under the global lock.
+  } locked(store_.shards_, touched);
+  // Validate watched versions under the touched-shard locks.
   for (const auto& [key, version] : watches_) {
     auto& shard = store_.shard_for(key);
     auto it = shard.map.find(key);

@@ -122,6 +122,7 @@ class Store {
     std::unordered_map<std::string, Entry> map GUARDED_BY(mutex);
   };
 
+  std::size_t shard_index(const std::string& key) const;
   Shard& shard_for(const std::string& key);
   const Shard& shard_for(const std::string& key) const;
 
@@ -183,10 +184,14 @@ class Transaction {
   void del(std::string key);
 
   /// Validate watches and apply queued commands atomically. After exec()
-  /// the transaction is reset (watches and queue cleared). Locks every
-  /// shard in index order — a dynamic acquisition pattern thread-safety
-  /// analysis cannot express, hence the opt-out; AIMETRO_LOCK_DEBUG builds
-  /// still order-check each acquisition at runtime.
+  /// the transaction is reset (watches and queue cleared). Locks only the
+  /// shards the watched/queued keys hash to, in index order — commits
+  /// touching disjoint shard subsets run concurrently (the sharded engine
+  /// relies on this: per-strip agent rows hash apart, so strip-local kv
+  /// mirrors rarely contend). The dynamic acquisition pattern is
+  /// inexpressible to thread-safety analysis, hence the opt-out;
+  /// AIMETRO_LOCK_DEBUG builds still order-check each acquisition at
+  /// runtime.
   TxnResult exec() NO_THREAD_SAFETY_ANALYSIS;
 
   std::size_t queued() const { return commands_.size(); }

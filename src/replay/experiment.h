@@ -52,6 +52,11 @@ struct ExperimentConfig {
   /// Scoreboard neighbor-scan implementation (Metropolis mode):
   /// spatial-index probes by default, full-scan reference on request.
   core::ScanMode scan_mode = core::ScanMode::kIndexed;
+  /// Region partition of the scoreboard (Metropolis mode). The DES is
+  /// single-threaded, so this buys no concurrency here — it exists so
+  /// replay can certify that a sharded board replays byte-identically to
+  /// shards=1 before the threaded engine trusts the same partition.
+  std::int32_t shards = 1;
   bool record_gantt = false;
   /// Run O(n^2) scoreboard invariant checks after every commit (tests).
   bool validate_invariants = false;

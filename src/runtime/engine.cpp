@@ -1,5 +1,6 @@
 #include "runtime/engine.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
@@ -18,6 +19,16 @@ std::uint64_t elapsed_us(std::chrono::steady_clock::time_point from,
           .count());
 }
 
+void check_unbounded(const TaskPool& pool) {
+  // Workers dispatch the clusters their own commits release: a bounded
+  // queue's backpressure would block a submitting worker on queue space
+  // that only workers (possibly all blocked the same way) can free.
+  // Refuse loudly.
+  AIM_CHECK_MSG(pool.max_queued() == 0,
+                "Engine requires unbounded TaskPools (workers dispatch "
+                "released clusters; backpressure would deadlock)");
+}
+
 }  // namespace
 
 Engine::Engine(world::WorldState* world, EngineConfig config, StepFn step_fn)
@@ -25,18 +36,8 @@ Engine::Engine(world::WorldState* world, EngineConfig config, StepFn step_fn)
   AIM_CHECK(world_ != nullptr);
   AIM_CHECK(step_fn_ != nullptr);
   AIM_CHECK(config_.n_workers >= 1);
-  if (config_.pool != nullptr) {
-    // The controller dispatches while holding the commit lock, which
-    // every worker needs to commit: a bounded queue's backpressure would
-    // then deadlock the dispatcher against its own workers. Refuse loudly.
-    AIM_CHECK_MSG(config_.pool->max_queued() == 0,
-                  "Engine requires an unbounded TaskPool (dispatch happens "
-                  "under the commit lock; backpressure would deadlock)");
-    pool_ = config_.pool;
-  } else {
-    owned_pool_ = std::make_unique<TaskPool>(config_.n_workers);
-    pool_ = owned_pool_.get();
-  }
+  AIM_CHECK_MSG(config_.shards >= 1 && config_.shards <= core::kMaxShards,
+                "EngineConfig::shards out of range");
   std::vector<Pos> initial;
   initial.reserve(world_->agent_count());
   for (std::size_t i = 0; i < world_->agent_count(); ++i) {
@@ -45,7 +46,45 @@ Engine::Engine(world::WorldState* world, EngineConfig config, StepFn step_fn)
   scoreboard_ = std::make_unique<core::Scoreboard>(
       config_.params,
       config_.metric ? config_.metric : core::make_euclidean(),
-      std::move(initial), config_.target_step, config_.scan_mode);
+      std::move(initial), config_.target_step, config_.scan_mode,
+      config_.shards);
+  // The scoreboard may collapse the partition (graph metrics, brute
+  // scans); size everything to what it actually runs.
+  shards_ = scoreboard_->shards();
+  shard_rows_.assign(static_cast<std::size_t>(shards_) + 1, EngineStats{});
+  shard_mutexes_.reserve(static_cast<std::size_t>(shards_));
+  for (std::int32_t s = 0; s < shards_; ++s) {
+    shard_mutexes_.push_back(std::make_unique<common::Mutex>("engine.shard"));
+  }
+
+  if (!config_.shard_pools.empty()) {
+    AIM_CHECK_MSG(config_.shard_pools.size() >=
+                      static_cast<std::size_t>(shards_),
+                  "EngineConfig::shard_pools must cover every shard");
+    for (std::int32_t s = 0; s < shards_; ++s) {
+      TaskPool* p = config_.shard_pools[static_cast<std::size_t>(s)];
+      AIM_CHECK(p != nullptr);
+      check_unbounded(*p);
+      shard_pools_.push_back(p);
+    }
+  } else if (config_.pool != nullptr) {
+    check_unbounded(*config_.pool);
+    shard_pools_.assign(static_cast<std::size_t>(shards_), config_.pool);
+  } else if (shards_ > 1) {
+    // Private pool per strip, splitting n_workers between them so the
+    // total thread budget matches the unsharded configuration.
+    const std::int32_t per_shard =
+        std::max<std::int32_t>(1, (config_.n_workers + shards_ - 1) / shards_);
+    for (std::int32_t s = 0; s < shards_; ++s) {
+      owned_shard_pools_.push_back(std::make_unique<TaskPool>(per_shard));
+      shard_pools_.push_back(owned_shard_pools_.back().get());
+    }
+  } else {
+    owned_pool_ = std::make_unique<TaskPool>(config_.n_workers);
+    shard_pools_.assign(1, owned_pool_.get());
+  }
+  pool_ = shard_pools_.front();
+
   if (config_.kv_instrumentation) {
     for (std::size_t i = 0; i < world_->agent_count(); ++i) {
       const Tile t = world_->tile_of(static_cast<AgentId>(i));
@@ -58,22 +97,37 @@ Engine::Engine(world::WorldState* world, EngineConfig config, StepFn step_fn)
 }
 
 Engine::~Engine() {
-  // In-flight cluster tasks reference this engine; when the pool is
-  // external we cannot rely on the pool destructor to join them, so drain
-  // explicitly either way.
-  common::MutexLock lock(commit_mutex_);
-  while (inflight_clusters_ != 0) done_cv_.wait(commit_mutex_);
+  // In-flight cluster tasks reference this engine; when the pools are
+  // external we cannot rely on the pool destructors to join them, so
+  // drain explicitly either way.
+  common::MutexLock lock(control_mutex_);
+  while (inflight_clusters_.load(std::memory_order_acquire) != 0) {
+    done_cv_.wait(control_mutex_);
+  }
 }
 
-void Engine::dispatch_ready_locked() {
-  // Caller holds commit_mutex_. Ready clusters become pool tasks at their
-  // step as the submission priority, so a backlogged pool still hands the
-  // earliest step to the next free worker (§3.5).
-  if (error_ != nullptr) return;  // failed runs stop dispatching
-  for (core::AgentCluster& cluster : scoreboard_->pop_ready_clusters()) {
+TaskPool* Engine::pool_for(const core::AgentCluster& cluster) {
+  if (shards_ == 1) return pool_;
+  // Home strip of the cluster = strip of its first (smallest-id) member.
+  // Members are idle between pop and execution, so the position is
+  // stable; the partition itself is immutable.
+  const std::int32_t s =
+      scoreboard_->shard_of_pos(scoreboard_->pos_of(cluster.members.front()));
+  return shard_pools_[static_cast<std::size_t>(s)];
+}
+
+void Engine::submit_clusters(std::vector<core::AgentCluster> ready) {
+  // Ready clusters become pool tasks at their step as the submission
+  // priority, so a backlogged pool still hands the earliest step to the
+  // next free worker (§3.5). The caller already popped them from the
+  // scoreboard, so this needs no engine lock: inflight accounting is
+  // atomic, and the submitting task's own inflight count keeps run()
+  // from observing a premature zero.
+  for (core::AgentCluster& cluster : ready) {
     const Step step = cluster.step;
-    ++inflight_clusters_;
-    pool_->submit(step, [this, cluster = std::move(cluster)]() mutable {
+    TaskPool* pool = pool_for(cluster);
+    inflight_clusters_.fetch_add(1, std::memory_order_acq_rel);
+    pool->submit(step, [this, cluster = std::move(cluster)]() mutable {
       execute_cluster(std::move(cluster));
     });
   }
@@ -114,7 +168,8 @@ void Engine::execute_cluster(core::AgentCluster cluster) {
           // Transactional mirror of the committed agent rows, as the
           // paper keeps all simulation state in the in-memory database.
           // The store's shard locks make this safe outside the commit
-          // lock.
+          // locks. Sharded runs log per strip so the instrumentation
+          // stream shows the shard-local traffic split.
           kv::Transaction txn = store_.transaction();
           for (const auto& out : outcomes) {
             const std::string key = strformat("agent:%d", out.agent);
@@ -122,9 +177,13 @@ void Engine::execute_cluster(core::AgentCluster cluster) {
             txn.hset(key, "x", std::to_string(out.tile.x));
             txn.hset(key, "y", std::to_string(out.tile.y));
           }
-          txn.rpush("log:commits",
-                    strformat("step=%d size=%zu", cluster.step,
-                              cluster.members.size()));
+          const std::string log_key =
+              shards_ > 1 && !moves.empty()
+                  ? strformat("log:commits:%d",
+                              scoreboard_->shard_of_pos(moves.front().second))
+                  : std::string("log:commits");
+          txn.rpush(log_key, strformat("step=%d size=%zu", cluster.step,
+                                       cluster.members.size()));
           txn.incr_by("stats:agent_steps",
                       static_cast<std::int64_t>(cluster.members.size()));
           const auto result = txn.exec();
@@ -134,43 +193,76 @@ void Engine::execute_cluster(core::AgentCluster cluster) {
         }
       }
 
-      // Graph maintenance: the only cross-worker critical section left.
-      // Timed so EngineStats can show whether commits serialize the
-      // pipeline (wait) and what the maintenance itself costs (hold).
+      // Graph maintenance — the boundary-lag commit protocol. Timed so
+      // EngineStats can show whether commits serialize the pipeline
+      // (wait) and what the maintenance itself costs (hold).
       const auto wait_begin = std::chrono::steady_clock::now();
       std::uint64_t wait_us = 0;
       std::uint64_t hold_us = 0;
+      std::int32_t strip = -1;
+      std::vector<core::AgentCluster> released;
       {
-        common::MutexLock lock(commit_mutex_);
+        // Interior path: prove the commit is confined to one strip, then
+        // take that strip's lock under a shared topology hold. The floor
+        // is sampled before classification so classification and commit
+        // bound their probe radii identically; it can only lag the true
+        // minimum, which merely widens the (exactly filtered) probes.
+        common::ReaderLock tlock(topology_mutex_);
+        const Step floor = min_floor_.load(std::memory_order_acquire);
+        strip = scoreboard_->local_commit_shard(moves, floor);
+        if (strip >= 0) {
+          common::MutexLock slock(
+              *shard_mutexes_[static_cast<std::size_t>(strip)]);
+          const auto acquired = std::chrono::steady_clock::now();
+          wait_us = elapsed_us(wait_begin, acquired);
+          if (!failed_.load(std::memory_order_acquire)) {
+            scoreboard_->commit(moves, floor);
+            released = scoreboard_->pop_ready_clusters_in_shard(strip);
+          }
+          hold_us = elapsed_us(acquired, std::chrono::steady_clock::now());
+        }
+      }
+      if (strip < 0) {
+        // Cross-shard path: exclusive over the whole board (identical to
+        // the old global commit lock; with shards=1 every commit lands
+        // here). The exclusive hold is the only place the global minimum
+        // may be recomputed and published.
+        common::WriterLock tlock(topology_mutex_);
         const auto acquired = std::chrono::steady_clock::now();
         wait_us = elapsed_us(wait_begin, acquired);
-        if (error_ == nullptr) {
+        if (!failed_.load(std::memory_order_acquire)) {
           scoreboard_->commit(moves);
-          dispatch_ready_locked();
+          min_floor_.store(scoreboard_->min_step(),
+                           std::memory_order_release);
+          released = scoreboard_->pop_ready_clusters();
         }
         hold_us = elapsed_us(acquired, std::chrono::steady_clock::now());
+      }
+      if (!failed_.load(std::memory_order_acquire)) {
+        submit_clusters(std::move(released));
       }
       {
         common::MutexLock slock(stats_mutex_);
         ++stats_.clusters_executed;
         stats_.agent_steps += cluster.members.size();
-        ++stats_.commits;
-        stats_.commit_wait_us += wait_us;
-        stats_.commit_hold_us += hold_us;
-        stats_.max_commit_wait_us =
-            std::max(stats_.max_commit_wait_us, wait_us);
+        EngineStats& row = shard_rows_[static_cast<std::size_t>(
+            strip >= 0 ? strip : shards_)];
+        ++row.commits;
+        row.commit_wait_us += wait_us;
+        row.commit_hold_us += hold_us;
+        row.max_commit_wait_us = std::max(row.max_commit_wait_us, wait_us);
       }
     } catch (...) {
       error = std::current_exception();
     }
   }
   {
-    common::MutexLock lock(commit_mutex_);
+    common::MutexLock lock(control_mutex_);
     if (error != nullptr && error_ == nullptr) {
       error_ = error;
       failed_.store(true, std::memory_order_release);
     }
-    --inflight_clusters_;
+    inflight_clusters_.fetch_sub(1, std::memory_order_acq_rel);
     // The commit that finishes the last agent (or records the first
     // error) is what unblocks run(). Notify under the lock: a waiter in
     // ~Engine may destroy the condition variable the instant its
@@ -181,18 +273,36 @@ void Engine::execute_cluster(core::AgentCluster cluster) {
 
 EngineStats Engine::run() {
   {
-    common::MutexLock lock(commit_mutex_);
-    dispatch_ready_locked();
+    common::WriterLock tlock(topology_mutex_);
+    std::vector<core::AgentCluster> ready = scoreboard_->pop_ready_clusters();
+    tlock.unlock();
+    submit_clusters(std::move(ready));
+  }
+  {
     // Controller: wait until every agent has reached the target (or a
     // task failed) and all in-flight cluster tasks have drained.
+    common::MutexLock lock(control_mutex_);
     while (!((scoreboard_->all_done() || error_ != nullptr) &&
-             inflight_clusters_ == 0)) {
-      done_cv_.wait(commit_mutex_);
+             inflight_clusters_.load(std::memory_order_acquire) == 0)) {
+      done_cv_.wait(control_mutex_);
     }
     if (error_ != nullptr) std::rethrow_exception(error_);
   }
   common::MutexLock slock(stats_mutex_);
-  return stats_;
+  EngineStats out = stats_;
+  for (const EngineStats& row : shard_rows_) {
+    out.commits += row.commits;
+    out.commit_wait_us += row.commit_wait_us;
+    out.commit_hold_us += row.commit_hold_us;
+    out.max_commit_wait_us =
+        std::max(out.max_commit_wait_us, row.max_commit_wait_us);
+  }
+  return out;
+}
+
+std::vector<EngineStats> Engine::shard_commit_stats() const {
+  common::MutexLock slock(stats_mutex_);
+  return shard_rows_;
 }
 
 }  // namespace aimetro::runtime

@@ -1,7 +1,7 @@
 // The real (threaded) AI Metropolis engine — Algorithm 3 with live agents.
 //
 // Architecture mirrors §3.1/§3.6: a controller on a light critical path
-// exchanges work with a persistent worker pool (runtime::TaskPool); every
+// exchanges work with persistent worker pools (runtime::TaskPool); every
 // ready cluster becomes one pool task, submitted at its step as the
 // priority so the earliest-step cluster always runs first (§3.5). Workers
 // run every agent in a cluster, call the LLM through the blocking client
@@ -13,15 +13,32 @@
 // keeps it in Redis) — agent rows are updated transactionally at each
 // commit and an instrumentation log records every cluster dispatch.
 //
-// Locking discipline (sharded commits): there is no single engine-wide
-// state lock. World writes serialize on the world's own shared_mutex;
-// scoreboard graph maintenance (commit + dispatch of released clusters)
-// serializes on a separate commit lock; the kv mirror uses the store's
-// internal shard locks. A worker preparing moves (LLM calls, world
-// observation, conflict resolution) therefore never contends with another
-// worker's graph maintenance — only the scoreboard commit itself is a
-// critical section, and EngineStats reports how long workers waited for
-// it. See docs/ARCHITECTURE.md, "Dependency core".
+// Locking discipline (boundary-lag commit protocol): there is no single
+// engine-wide state lock. World writes serialize on the world's own
+// shared_mutex and the kv mirror uses the store's internal shard locks,
+// both outside any engine lock. Scoreboard graph maintenance uses a
+// two-mode protocol over the region partition (config.shards):
+//
+//   interior commit — the scoreboard proves the commit's influence region
+//     sits inside one strip s with no cross-strip couplings
+//     (Scoreboard::local_commit_shard); the worker then holds
+//     topology_mutex_ SHARED plus shard_mutexes_[s] and commits, popping
+//     released clusters from strip s only. Interior commits in different
+//     strips run fully concurrently — this is the hot path that removes
+//     the global commit lock.
+//   cross-shard commit — anything near a strip border (or with shards=1,
+//     everything) holds topology_mutex_ EXCLUSIVE, which excludes every
+//     interior commit: exactly the old global-commit-lock behavior. It
+//     also refreshes min_floor_, the monotonic lower bound on min_step()
+//     that interior commits use to bound their probe radii without
+//     reading other strips' live-step tables.
+//
+// Lock order: engine.topology -> engine.shard -> task_pool ->
+// engine.stats -> engine.control (see docs/ARCHITECTURE.md, "Sharded
+// world", for the full inventory). The scoreboard object itself carries
+// no capability annotation: its guard is the protocol above, which Clang
+// TSA cannot express (shared-mode writers striped by a runtime index);
+// the runtime lock-order validator and the TSan suite check it instead.
 //
 // The paper uses processes to dodge the Python GIL; C++ threads carry no
 // such penalty, so workers are pool threads here. The scheduling policy
@@ -60,12 +77,24 @@ struct EngineConfig {
   bool kv_instrumentation = true;
   /// Run cluster tasks on an externally owned pool instead of a private
   /// one (the pool must outlive the engine and have no queue bound —
-  /// dispatch happens under the commit lock, so backpressure would
-  /// deadlock the dispatcher against its own workers; checked at
+  /// workers dispatch the clusters their own commits release, so
+  /// backpressure would deadlock them against each other; checked at
   /// construction). Cluster concurrency is then bounded by that pool's
   /// worker count, not n_workers — share a pool only when that is what
-  /// you mean.
+  /// you mean. Ignored when shard_pools is set.
   TaskPool* pool = nullptr;
+  /// Region partition of the world (1..core::kMaxShards). Values > 1
+  /// activate the boundary-lag commit protocol; the scoreboard may still
+  /// collapse to one strip (graph metrics, brute-force scans), in which
+  /// case every commit takes the cross-shard path and behavior matches
+  /// shards=1 exactly.
+  std::int32_t shards = 1;
+  /// Pool-per-shard seam: clusters homed in strip s run on
+  /// shard_pools[s]. Must be empty or hold at least `shards` pools, all
+  /// unbounded and outliving the engine. When empty and shards > 1, the
+  /// engine spawns one private pool per strip, splitting n_workers
+  /// between them.
+  std::vector<TaskPool*> shard_pools;
 };
 
 struct EngineStats {
@@ -74,10 +103,12 @@ struct EngineStats {
   std::uint64_t kv_transactions = 0;
   std::uint64_t kv_conflicts = 0;
   /// Commit-lock contention: total scoreboard commits, total microseconds
-  /// workers spent waiting to acquire the commit lock, total microseconds
-  /// spent holding it (graph maintenance + dispatch), and the worst
-  /// single wait. wait >> hold means commits are serializing the
-  /// pipeline; both near zero means the LLM calls dominate, as designed.
+  /// workers spent waiting to acquire the commit locks, total
+  /// microseconds spent holding them (graph maintenance + dispatch), and
+  /// the worst single wait. wait >> hold means commits are serializing
+  /// the pipeline; both near zero means the LLM calls dominate, as
+  /// designed. With shards > 1 these are rollups of the per-strip rows
+  /// (sums, except max_commit_wait_us which is the max).
   std::uint64_t commits = 0;
   std::uint64_t commit_wait_us = 0;
   std::uint64_t commit_hold_us = 0;
@@ -92,8 +123,9 @@ class Engine {
   using StepFn = std::function<std::vector<world::StepIntent>(
       const core::AgentCluster& cluster, const world::WorldState& world)>;
 
-  /// Spawns the private worker pool (when config.pool is null) here, so a
-  /// caller timing run() never measures thread creation.
+  /// Spawns the private worker pool(s) (when config.pool / shard_pools
+  /// are unset) here, so a caller timing run() never measures thread
+  /// creation.
   Engine(world::WorldState* world, EngineConfig config, StepFn step_fn);
   ~Engine();
 
@@ -107,41 +139,63 @@ class Engine {
 
   /// Post-run inspection only: callers read the scoreboard after run()
   /// returned (or before it started), when no worker can be mutating it.
-  const core::Scoreboard& scoreboard() const NO_THREAD_SAFETY_ANALYSIS {
-    return *scoreboard_;
-  }
+  const core::Scoreboard& scoreboard() const { return *scoreboard_; }
   kv::Store& store() { return store_; }
+  /// The first cluster pool (the only one with shards=1).
   const TaskPool& pool() const { return *pool_; }
+  /// Effective strip count (after the scoreboard's collapse rules).
+  std::int32_t shards() const { return shards_; }
+  /// Per-strip commit contention rows, index shards() = the cross-shard
+  /// (boundary-reconciliation) row. Only the commit* fields are
+  /// populated; kv/cluster totals live in the aggregate. Post-run only.
+  std::vector<EngineStats> shard_commit_stats() const;
 
  private:
   void execute_cluster(core::AgentCluster cluster);
-  void dispatch_ready_locked() REQUIRES(commit_mutex_);
+  /// Queue released clusters on their home strips' pools (step priority).
+  void submit_clusters(std::vector<core::AgentCluster> ready);
+  TaskPool* pool_for(const core::AgentCluster& cluster);
 
   world::WorldState* world_;
   EngineConfig config_;
   StepFn step_fn_;
-  /// The pointer is set once in the constructor; the pointed-to graph is
-  /// mutated only under commit_mutex_ (see scoreboard() for the post-run
-  /// read exception).
-  std::unique_ptr<core::Scoreboard> scoreboard_ PT_GUARDED_BY(commit_mutex_);
+  /// Set once in the constructor. The pointed-to graph is mutated under
+  /// the boundary-lag protocol described in the header comment (shared
+  /// topology + one strip lock, or exclusive topology) — a guard Clang
+  /// TSA cannot express, so the pointer is deliberately unannotated.
+  std::unique_ptr<core::Scoreboard> scoreboard_;
   kv::Store store_;
 
   std::unique_ptr<TaskPool> owned_pool_;
+  std::vector<std::unique_ptr<TaskPool>> owned_shard_pools_;
   TaskPool* pool_ = nullptr;
+  /// Routing table, size shards(): per-strip pools or aliases of pool_.
+  std::vector<TaskPool*> shard_pools_;
 
-  /// Guards scoreboard_ graph maintenance, dispatch bookkeeping
-  /// (inflight_clusters_), and error_. World commits take only the
-  /// world's own mutex; the kv mirror uses the store's shard locks.
-  common::Mutex commit_mutex_{"engine.commit"};
+  std::int32_t shards_ = 1;
+  /// Cross-shard commits hold this exclusively; interior commits hold it
+  /// shared plus one shard mutex. Acquired before any other engine lock.
+  common::SharedMutex topology_mutex_{"engine.topology"};
+  std::vector<std::unique_ptr<common::Mutex>> shard_mutexes_;
+  /// Monotonic lower bound on scoreboard min_step(); refreshed only by
+  /// cross-shard commits (the only ones that may read every strip's
+  /// live-step table). Bounds interior commits' probe radii.
+  std::atomic<Step> min_floor_{0};
+
+  /// Control plane: run()/~Engine() wait here for in-flight cluster
+  /// tasks to drain. Never held while acquiring topology/shard locks.
+  common::Mutex control_mutex_{"engine.control"};
   common::CondVar done_cv_;
-  std::uint64_t inflight_clusters_ GUARDED_BY(commit_mutex_) = 0;
+  std::atomic<std::int64_t> inflight_clusters_{0};
   /// First task failure; stops dispatch.
-  std::exception_ptr error_ GUARDED_BY(commit_mutex_);
+  std::exception_ptr error_ GUARDED_BY(control_mutex_);
   /// Lock-free mirror of `error_ != nullptr` so workers can skip the
-  /// world commit on failed runs without touching the commit lock.
+  /// world commit on failed runs without touching the control lock.
   std::atomic<bool> failed_{false};
-  common::Mutex stats_mutex_{"engine.stats"};
+  mutable common::Mutex stats_mutex_{"engine.stats"};
   EngineStats stats_ GUARDED_BY(stats_mutex_);
+  /// Commit contention per strip + the cross-shard row (size shards+1).
+  std::vector<EngineStats> shard_rows_ GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace aimetro::runtime

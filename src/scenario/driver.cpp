@@ -282,6 +282,22 @@ std::string ScenarioReport::summary() const {
         "chain-pool  workers=%d  peak-inflight=%llu\n", pool_workers,
         static_cast<unsigned long long>(peak_inflight_tasks));
   }
+  if (shards > 1) {
+    out += strformat("shards=%d\n", shards);
+    if (!shard_rows.empty()) {
+      out += strformat("  %6s %10s %12s %12s %14s\n", "shard", "commits",
+                       "wait-us", "hold-us", "max-wait-us");
+      for (const ShardContention& row : shard_rows) {
+        out += strformat(
+            "  %6s %10llu %12llu %12llu %14llu\n",
+            row.shard < 0 ? "cross" : std::to_string(row.shard).c_str(),
+            static_cast<unsigned long long>(row.commits),
+            static_cast<unsigned long long>(row.commit_wait_us),
+            static_cast<unsigned long long>(row.commit_hold_us),
+            static_cast<unsigned long long>(row.max_commit_wait_us));
+      }
+    }
+  }
   out += strformat("scoreboard-digest=%016llx\n",
                    static_cast<unsigned long long>(scoreboard_digest));
   if (day_rows.size() > 1) {
@@ -361,6 +377,7 @@ replay::ExperimentConfig ScenarioDriver::experiment_config() const {
   cfg.parallelism =
       llm::ParallelismConfig{spec_.tensor_parallel, spec_.data_parallel};
   cfg.scan_mode = scan_mode_of(spec_);
+  cfg.shards = spec_.resolved_shards();
   return cfg;
 }
 
@@ -480,6 +497,13 @@ ScenarioReport ScenarioDriver::run_des(bool serial_baseline) const {
   r.mean_cluster_size = metro.scoreboard.mean_cluster_size();
   r.mean_blockers = metro.mean_blockers;
   r.clusters_dispatched = metro.scoreboard.clusters_dispatched;
+  // Mirror the scoreboard's collapse rules (brute scans and hop metrics
+  // run unsharded) so the report never claims a partition that was not
+  // actually in effect.
+  r.shards = spec_.scoreboard == ScoreboardKind::kBrute ||
+                     spec_.world == WorldKind::kGraph
+                 ? 1
+                 : spec_.resolved_shards();
   r.scoreboard_digest = digest_states(metro.final_agent_states);
   return r;
 }
@@ -509,6 +533,8 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
     std::uint64_t world_hash = 0;
     core::ScoreboardStats scoreboard;
     double mean_blockers = 0.0;
+    std::int32_t shards = 1;
+    std::vector<runtime::EngineStats> shard_rows;
     /// Member-chain pool diagnostics (zero for the serial baseline,
     /// which runs chains inline).
     std::int32_t pool_workers = 0;
@@ -540,6 +566,7 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
     ecfg.scan_mode = scan_mode_of(spec_);
     ecfg.kv_instrumentation = false;
     ecfg.metric = metric;  // null = Euclidean
+    ecfg.shards = spec_.resolved_shards();
 
     // One agent's traced calls for a step, issued in chain order (calls
     // within a chain are serial by definition).
@@ -655,6 +682,8 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
     }
     out.scoreboard = engine.scoreboard().stats();
     out.mean_blockers = engine.scoreboard().mean_blockers();
+    out.shards = engine.shards();
+    out.shard_rows = engine.shard_commit_stats();
     return out;
   };
 
@@ -690,6 +719,21 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
   r.clusters_dispatched = metro.scoreboard.clusters_dispatched;
   r.pool_workers = metro.pool_workers;
   r.peak_inflight_tasks = metro.peak_inflight_tasks;
+  r.shards = metro.shards;
+  if (metro.shards > 1) {
+    for (std::size_t i = 0; i < metro.shard_rows.size(); ++i) {
+      const runtime::EngineStats& row = metro.shard_rows[i];
+      ScenarioReport::ShardContention c;
+      c.shard = i + 1 == metro.shard_rows.size()
+                    ? -1  // the cross-shard (boundary) row
+                    : static_cast<std::int32_t>(i);
+      c.commits = row.commits;
+      c.commit_wait_us = row.commit_wait_us;
+      c.commit_hold_us = row.commit_hold_us;
+      c.max_commit_wait_us = row.max_commit_wait_us;
+      r.shard_rows.push_back(c);
+    }
+  }
   r.scoreboard_digest = metro.digest;
   r.world_hash_serial = serial.world_hash;
   r.world_hash_metro = metro.world_hash;

@@ -76,6 +76,21 @@ struct ScenarioReport {
   std::int32_t pool_workers = 0;
   std::uint64_t peak_inflight_tasks = 0;
 
+  /// Effective scoreboard strip count (after the collapse rules: brute
+  /// scans and graph metrics run unsharded regardless of the spec).
+  std::int32_t shards = 1;
+  /// Engine backend, shards > 1 only: commit-lock contention per strip.
+  /// The `shard = -1` row is the cross-shard (boundary-reconciliation)
+  /// path — the residue of the old global commit lock.
+  struct ShardContention {
+    std::int32_t shard = 0;
+    std::uint64_t commits = 0;
+    std::uint64_t commit_wait_us = 0;
+    std::uint64_t commit_hold_us = 0;
+    std::uint64_t max_commit_wait_us = 0;
+  };
+  std::vector<ShardContention> shard_rows;
+
   /// Order-insensitive hash of the final per-agent (step, position)
   /// scoreboard state. Two backends that executed the same workload to the
   /// same final state produce the same digest.

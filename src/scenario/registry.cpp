@@ -145,7 +145,8 @@ ScenarioSpec metro_ville(std::int32_t n_agents) {
   s.description = strformat(
       "Production-scale stress of the dependency core: %d townsfolk on %d "
       "concatenated SmallVilles, 10-minute busy-window replay on 8x L4 "
-      "(N in [100, 10000]; exercises the spatial-index scoreboard)",
+      "(N in [100, 100000]; exercises the sharded spatial-index "
+      "scoreboard)",
       n_agents, (n_agents + 24) / 25);
   s.map = MapKind::kSmallville;
   s.homes = 25;
@@ -263,7 +264,8 @@ std::vector<RegistryEntry> registry_entries() {
   for (const ScenarioSpec& s :
        {smallville_day(), social_hub(), urban_commute(), sparse_ville(),
         scaling_ville(4), mixed_ville(40), metro_ville(1000),
-        social_net(1000), metropolis_week(), quickstart_arena()}) {
+        metro_ville(100000), social_net(1000), metropolis_week(),
+        quickstart_arena()}) {
     out.push_back(RegistryEntry{s.name, s.description});
   }
   return out;
@@ -291,12 +293,12 @@ std::optional<ScenarioSpec> find_scenario(const std::string& name,
   }
   constexpr const char* kMetroPrefix = "metro_ville";
   if (name.rfind(kMetroPrefix, 0) == 0) {
-    if (const auto n = family_param(name, kMetroPrefix, 100, 10000)) {
+    if (const auto n = family_param(name, kMetroPrefix, 100, 100000)) {
       return metro_ville(*n);
     }
     if (error != nullptr) {
       *error = strformat(
-          "metro_ville<N> takes N in [100, 10000]; '%s' does not parse",
+          "metro_ville<N> takes N in [100, 100000]; '%s' does not parse",
           name.c_str());
     }
     return std::nullopt;

@@ -234,6 +234,19 @@ const std::vector<Field>& fields() {
       AIM_SPEC_FIELD("radius_p", radius_p),
       AIM_SPEC_FIELD("max_vel", max_vel),
       AIM_SPEC_FIELD("scoreboard", scoreboard),
+      // `shards` reads/writes `auto` for the 0 sentinel, so the macro's
+      // plain integer conversion does not fit.
+      Field{"shards",
+            [](ScenarioSpec& s, const std::string& v) {
+              if (v == "auto") {
+                s.shards = 0;
+                return true;
+              }
+              return conv(v, &s.shards);
+            },
+            [](const ScenarioSpec& s) {
+              return s.shards == 0 ? std::string("auto") : render(s.shards);
+            }},
       AIM_SPEC_FIELD("model", model),
       AIM_SPEC_FIELD("gpu", gpu),
       AIM_SPEC_FIELD("tensor_parallel", tensor_parallel),
@@ -300,6 +313,14 @@ std::string ScenarioSpec::to_text() const {
 std::int32_t ScenarioSpec::resolved_pool_workers() const {
   return pool_workers > 0 ? pool_workers
                           : runtime::derive_pool_workers(workers);
+}
+
+std::int32_t ScenarioSpec::resolved_shards() const {
+  if (shards > 0) return shards;
+  // One strip per ~2500 agents keeps strips wide relative to the
+  // blocking radius (narrow strips make every agent a border agent and
+  // every commit cross-shard). 64 mirrors core::kMaxShards.
+  return std::clamp(agents / 2500, 1, 64);
 }
 
 Step ScenarioSpec::sim_steps() const {
@@ -398,6 +419,9 @@ std::string validate_spec(const ScenarioSpec& spec) {
   if (spec.pool_workers < 0) {
     return "pool_workers must be >= 0 (0 derives from workers)";
   }
+  if (spec.shards < 0 || spec.shards > 64) {
+    return "shards must be auto or in [1, 64]";
+  }
   if (spec.time_scale <= 0.0) return "time_scale must be > 0";
   if (spec.call_latency_us < 0) return "call_latency_us must be >= 0";
 
@@ -466,6 +490,10 @@ std::string validate_spec(const ScenarioSpec& spec) {
                "generated for them: set backend = engine";
       }
       if (spec.segments != 1) return "arena maps cannot be segmented";
+      if (spec.shards > 1) {
+        return "arena maps run the live gym loop, which commits through "
+               "one scoreboard cursor: shards must be auto or 1";
+      }
       if (!spec.population.empty()) {
         // Gym agents have no behavior profiles; accepting the key would
         // silently run a different workload than the spec claims.

@@ -119,6 +119,12 @@ struct ScenarioSpec {
   /// index, the default) or `brute` (full-scan reference path — same
   /// results, O(n) per commit; for differential digest checks).
   ScoreboardKind scoreboard = ScoreboardKind::kIndexed;
+  /// Region partition of the scoreboard: `auto` (scale with the agent
+  /// count; see resolved_shards()) or an explicit strip count in
+  /// [1, 64] (core::kMaxShards). Internally 0 = auto. Digests are
+  /// byte-identical for every value — sharding changes only which locks
+  /// the engine takes, never what the simulation computes.
+  std::int32_t shards = 0;
 
   // ---- LLM serving platform (DES backend) ----
   /// Resolved through llm::find_model / llm::find_gpu; unknown names are a
@@ -161,6 +167,10 @@ struct ScenarioSpec {
   /// Member-chain pool size the engine backend actually uses:
   /// `pool_workers` when set, else derived from `workers`.
   std::int32_t resolved_pool_workers() const;
+  /// Strip count the backends actually use: `shards` when explicit, else
+  /// one strip per ~2500 agents, clamped to [1, 64] — small worlds stay
+  /// unsharded, metro_ville100000 gets 40 strips.
+  std::int32_t resolved_shards() const;
 };
 
 struct SpecParseResult {

@@ -221,20 +221,50 @@ TEST_F(LockDebugTest, WrapperInversionMirroringRouteReplicaIsReported) {
   EXPECT_EQ(violations_[0].acquiring_name, "llm.route");
 }
 
+TEST_F(LockDebugTest, ShardedCommitProtocolOrderingIsClean) {
+  // The engine's boundary-lag protocol: interior commits hold the
+  // topology lock shared plus exactly one strip lock; cross-shard
+  // commits hold topology exclusive and no strip lock. The validator
+  // keys locks by address, so the identically named per-strip mutexes
+  // are distinct nodes — and because no commit ever holds two strips at
+  // once, no strip-strip edge can form in either direction.
+  common::SharedMutex topology{"engine.topology"};
+  common::Mutex strip0{"engine.shard"};
+  common::Mutex strip1{"engine.shard"};
+  for (int round = 0; round < 2; ++round) {
+    {
+      common::ReaderLock t(topology);
+      common::MutexLock s(strip0);
+    }
+    {
+      common::ReaderLock t(topology);
+      common::MutexLock s(strip1);
+    }
+    {
+      common::WriterLock t(topology);  // cross-shard escalation
+    }
+  }
+  EXPECT_TRUE(violations_.empty());
+  EXPECT_EQ(lock_debug::edge_count(), 2u);  // topology -> each strip
+}
+
 TEST_F(LockDebugTest, SharedMutexReaderWriterInversionIsReported) {
-  common::SharedMutex world{"world"};
-  common::Mutex commit{"engine.commit"};
+  // A strip lock held across a topology acquisition is exactly the
+  // deadlock the protocol forbids (a writer blocks between the reader
+  // and its strip): the validator must name both locks.
+  common::SharedMutex topology{"engine.topology"};
+  common::Mutex strip{"engine.shard"};
   {
-    common::ReaderLock r(world);
-    common::MutexLock c(commit);
+    common::ReaderLock t(topology);
+    common::MutexLock s(strip);
   }
   {
-    common::MutexLock c(commit);
-    common::WriterLock w(world);  // deliberate inversion
+    common::MutexLock s(strip);
+    common::WriterLock t(topology);  // deliberate inversion
   }
   ASSERT_EQ(violations_.size(), 1u);
-  EXPECT_EQ(violations_[0].held_name, "engine.commit");
-  EXPECT_EQ(violations_[0].acquiring_name, "world");
+  EXPECT_EQ(violations_[0].held_name, "engine.shard");
+  EXPECT_EQ(violations_[0].acquiring_name, "engine.topology");
 }
 
 TEST_F(LockDebugTest, KvTransactionAscendingShardOrderIsClean) {

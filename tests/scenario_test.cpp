@@ -394,19 +394,22 @@ TEST(Registry, MixedVilleIsParameterized) {
   EXPECT_FALSE(find_scenario("mixed_villeXL", &error).has_value());
 }
 
-TEST(Registry, MetroVilleIsParameterizedToTenThousand) {
+TEST(Registry, MetroVilleIsParameterizedToOneHundredThousand) {
   std::string error;
   const auto m100 = find_scenario("metro_ville100", &error);
   ASSERT_TRUE(m100.has_value()) << error;
   EXPECT_EQ(m100->agents, 100);
   EXPECT_EQ(m100->segments, 4);
   EXPECT_EQ(validate_spec(*m100), "");
+  // Small members stay unsharded under the auto partition.
+  EXPECT_EQ(m100->resolved_shards(), 1);
 
-  const auto m10k = find_scenario("metro_ville10000", &error);
-  ASSERT_TRUE(m10k.has_value()) << error;
-  EXPECT_EQ(m10k->agents, 10000);
-  EXPECT_EQ(m10k->segments, 400);
-  EXPECT_EQ(validate_spec(*m10k), "");
+  const auto m100k = find_scenario("metro_ville100000", &error);
+  ASSERT_TRUE(m100k.has_value()) << error;
+  EXPECT_EQ(m100k->agents, 100000);
+  EXPECT_EQ(m100k->segments, 4000);
+  EXPECT_EQ(validate_spec(*m100k), "");
+  EXPECT_EQ(m100k->resolved_shards(), 40);
 
   // Non-multiples of 25 ride the generic remainder split.
   const auto m1013 = find_scenario("metro_ville1013", &error);
@@ -415,7 +418,7 @@ TEST(Registry, MetroVilleIsParameterizedToTenThousand) {
   EXPECT_EQ(validate_spec(*m1013), "");
 
   EXPECT_FALSE(find_scenario("metro_ville99", &error).has_value());
-  EXPECT_FALSE(find_scenario("metro_ville10001", &error).has_value());
+  EXPECT_FALSE(find_scenario("metro_ville100001", &error).has_value());
   EXPECT_FALSE(find_scenario("metro_villeXXL", &error).has_value());
 }
 
@@ -845,7 +848,10 @@ TEST(ScanModes, BruteAndIndexedDigestsAgreeOnEveryRegistryScenario) {
     } else {
       spec->window_begin = 4320;
       spec->window_end = 4340;
-      if (spec->agents > 200) spec->agents = 200;
+      if (spec->agents > 200) {
+        spec->agents = 200;
+        spec->segments = std::min(spec->segments, 8);
+      }
     }
     spec->call_latency_us = 0;
     ASSERT_EQ(validate_spec(*spec), "") << entry.name;
@@ -875,6 +881,57 @@ TEST(ScanModes, BruteAndIndexedDigestsAgreeOnEveryRegistryScenario) {
             << entry.name;
         EXPECT_EQ(indexed.mean_blockers, brute.mean_blockers) << entry.name;
         EXPECT_EQ(indexed.metro_seconds, brute.metro_seconds) << entry.name;
+      }
+    }
+  }
+}
+
+TEST(ScanModes, ShardedAndUnshardedDigestsAgreeOnEveryRegistryScenario) {
+  // The sharding guarantee at the workload level: on every shipped
+  // scenario, on both backends, the region-partitioned scoreboard must
+  // reach the same final state, issue the same calls, and (in virtual
+  // time) measure the same schedule as the single-strip reference —
+  // sharding changes which locks are taken, never what is computed.
+  // Arena maps are skipped: the gym loop is unsharded by construction.
+  for (const auto& entry : registry_entries()) {
+    std::string error;
+    auto spec = find_scenario(entry.name, &error);
+    ASSERT_TRUE(spec.has_value()) << error;
+    if (spec->map == MapKind::kArena) continue;
+    spec->window_begin = 4320;
+    spec->window_end = 4340;
+    if (spec->agents > 200) {
+      spec->agents = 200;
+      spec->segments = std::min(spec->segments, 8);
+    }
+    spec->call_latency_us = 0;
+    ASSERT_EQ(validate_spec(*spec), "") << entry.name;
+
+    for (Backend backend : {Backend::kDes, Backend::kEngine}) {
+      spec->backend = backend;
+      spec->shards = 1;
+      const auto single = ScenarioDriver(*spec).run(/*serial_baseline=*/false);
+      spec->shards = 8;
+      const auto sharded = ScenarioDriver(*spec).run(/*serial_baseline=*/false);
+
+      EXPECT_EQ(sharded.scoreboard_digest, single.scoreboard_digest)
+          << entry.name << " on " << backend_name(backend);
+      EXPECT_EQ(sharded.total_calls, single.total_calls) << entry.name;
+      EXPECT_EQ(sharded.agent_steps, single.agent_steps) << entry.name;
+      // Graph worlds measure hops, which the strip partition cannot
+      // cover: the board collapses to one strip and must say so.
+      if (spec->world == WorldKind::kGraph) {
+        EXPECT_EQ(sharded.shards, 1) << entry.name;
+      } else {
+        EXPECT_EQ(sharded.shards, 8) << entry.name;
+      }
+      if (backend == Backend::kDes) {
+        EXPECT_EQ(sharded.clusters_dispatched, single.clusters_dispatched)
+            << entry.name;
+        EXPECT_EQ(sharded.mean_cluster_size, single.mean_cluster_size)
+            << entry.name;
+        EXPECT_EQ(sharded.mean_blockers, single.mean_blockers) << entry.name;
+        EXPECT_EQ(sharded.metro_seconds, single.metro_seconds) << entry.name;
       }
     }
   }

@@ -59,6 +59,18 @@ const std::vector<DiffShape>& sweep_shapes() {
       {12, 0.0, 15, DependencyParams{2.5, 1.0}, "graph", 48, 2, 0.0},
       // Immobile agents on a graph: pure blocking, no index updates.
       {16, 0.0, 20, DependencyParams{1.0, 0.0}, "graph", 64, 4, 0.1},
+      // Sharded strip structure against the flat reference: wide spread
+      // gives mostly-interior strips with live borders as agents drift.
+      {48, 400.0, 15, DependencyParams{4.0, 1.0}, "euclidean", 0, 4, 0.1, 4},
+      // Strips narrower than the blocking radius: nearly every agent is a
+      // border agent and most clusters are cross-strip — the escalation
+      // path must still match the flat board exactly.
+      {32, 60.0, 12, DependencyParams{4.0, 1.0}, "euclidean", 0, 4, 0.1, 8},
+      // Sharded non-Euclidean: box-superset probes across strip seams.
+      {40, 240.0, 12, DependencyParams{4.0, 1.0}, "chebyshev", 0, 4, 0.1, 4},
+      // Graph metric with shards requested: the partition must collapse
+      // to one strip and behave exactly like the unsharded board.
+      {24, 0.0, 12, DependencyParams{2.0, 1.0}, "graph", 120, 4, 0.1, 8},
   };
   return kShapes;
 }
@@ -78,6 +90,118 @@ TEST(DifferentialHarness, ReproStringRoundTripsEveryShape) {
   }
   EXPECT_FALSE(parse_repro("metric=graph bogus_key=1").has_value());
   EXPECT_FALSE(parse_repro("agents=twelve").has_value());
+}
+
+TEST(ScoreboardShards, PartitionClassifiesInteriorAndBorderCommits) {
+  // Four strips of width 250 over x in [0, 1000] (the anchors at the
+  // extremes pin the range). With target=5 and floor=0 the confinement
+  // radius is blocking_radius(5) + coupling_radius = 10 + 5 = 15, so a
+  // commit is interior iff its members' old and new boxes of half-extent
+  // 15 stay inside one strip.
+  const DependencyParams params{4.0, 1.0};
+  const std::vector<Pos> initial = {
+      {0.0, 0.0},    // strip 0 edge anchor
+      {125.0, 0.0},  // strip 0 interior
+      {245.0, 0.0},  // strip 0, within 15 of the 250 border
+      {625.0, 0.0},  // strip 2 interior
+      {1000.0, 0.0}  // strip 3 edge anchor
+  };
+  Scoreboard sb(params, make_euclidean(), initial, 5, ScanMode::kIndexed, 4);
+  ASSERT_EQ(sb.shards(), 4);
+  EXPECT_EQ(sb.shard_of_pos(Pos{125.0, 0.0}), 0);
+  EXPECT_EQ(sb.shard_of_pos(Pos{251.0, 0.0}), 1);
+  EXPECT_EQ(sb.shard_of_pos(Pos{625.0, 0.0}), 2);
+  EXPECT_EQ(sb.shard_of_pos(Pos{-40.0, 0.0}), 0);    // clamped
+  EXPECT_EQ(sb.shard_of_pos(Pos{2000.0, 0.0}), 3);   // clamped
+
+  // Border registration: agent 2's blocking box straddles the 250 line,
+  // so it sits in both strip 0's and strip 1's border sets; agents 1 and
+  // 3 are interior and the edge anchors only touch their own strips.
+  EXPECT_GE(sb.border_count(0), 1u);
+  EXPECT_GE(sb.border_count(1), 1u);
+  EXPECT_EQ(sb.border_count(2), 0u);
+
+  // Interior commit: agent 3 deep inside strip 2, staying there.
+  const std::vector<std::pair<AgentId, Pos>> interior = {
+      {3, Pos{626.0, 0.0}}};
+  EXPECT_EQ(sb.local_commit_shard(interior, /*probe_floor=*/0), 2);
+  // Border commit: agent 2's box straddles strips 0 and 1.
+  const std::vector<std::pair<AgentId, Pos>> border = {{2, Pos{246.0, 0.0}}};
+  EXPECT_EQ(sb.local_commit_shard(border, /*probe_floor=*/0), -1);
+
+  // Per-strip pops see only clusters homed there, and together they see
+  // everything the global pop would.
+  auto s0 = sb.pop_ready_clusters_in_shard(0);
+  auto s2 = sb.pop_ready_clusters_in_shard(2);
+  std::size_t popped = s0.size() + s2.size();
+  for (std::int32_t s : {1, 3}) {
+    popped += sb.pop_ready_clusters_in_shard(s).size();
+  }
+  EXPECT_EQ(popped, 5u);  // far-apart agents: one singleton cluster each
+  for (const auto& c : s2) {
+    for (AgentId m : c.members) {
+      EXPECT_EQ(sb.shard_of_pos(sb.pos_of(m)), 2);
+    }
+  }
+  sb.check_invariants();
+}
+
+TEST(ScoreboardShards, NonIndexableModesCollapseToOneStrip) {
+  const DependencyParams params{4.0, 1.0};
+  const std::vector<Pos> initial = {{0.0, 0.0}, {500.0, 0.0}, {1000.0, 0.0}};
+  Scoreboard brute(params, make_euclidean(), initial, 5,
+                   ScanMode::kBruteForce, 8);
+  EXPECT_EQ(brute.shards(), 1);
+  auto metric = std::make_shared<GraphMetric>(
+      std::vector<std::vector<std::int32_t>>{{1}, {0, 2}, {1}});
+  Scoreboard graph(params, metric,
+                   {Pos{0.0, 0.0}, Pos{1.0, 0.0}, Pos{2.0, 0.0}}, 5,
+                   ScanMode::kIndexed, 8);
+  EXPECT_EQ(graph.shards(), 1);
+  // Collapsed boards classify every commit as cross-shard (the engine
+  // then always escalates, which is exactly the old global-lock path).
+  EXPECT_EQ(brute.local_commit_shard({{1, Pos{500.0, 0.0}}}, 0), -1);
+}
+
+TEST(ScoreboardShards, ShardedRunToCompletionHoldsInvariants) {
+  // A full randomized run on a sharded board, exercising borders forming
+  // and dissolving as agents drift across strips, with per-strip stats
+  // summing to the global rollup.
+  Rng rng(77);
+  std::vector<Pos> initial;
+  for (int i = 0; i < 200; ++i) {
+    initial.push_back(Pos{rng.uniform(0.0, 800.0), rng.uniform(0.0, 80.0)});
+  }
+  Scoreboard sb(DependencyParams{4.0, 1.0}, make_euclidean(), initial, 8,
+                ScanMode::kIndexed, 8);
+  ASSERT_EQ(sb.shards(), 8);
+  std::vector<AgentCluster> in_flight;
+  std::uint64_t commits = 0;
+  while (!sb.all_done()) {
+    for (auto& c : sb.pop_ready_clusters()) in_flight.push_back(std::move(c));
+    ASSERT_FALSE(in_flight.empty()) << "scheduler stalled";
+    const std::size_t pick = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(in_flight.size()) - 1));
+    AgentCluster cluster = std::move(in_flight[pick]);
+    in_flight.erase(in_flight.begin() + static_cast<std::ptrdiff_t>(pick));
+    std::vector<std::pair<AgentId, Pos>> moves;
+    for (AgentId m : cluster.members) {
+      Pos pos = sb.pos_of(m);
+      pos.x += rng.uniform(-1.0, 1.0) * 0.7;
+      pos.y += rng.uniform(-1.0, 1.0) * 0.7;
+      moves.emplace_back(m, pos);
+    }
+    sb.commit(moves, /*probe_floor=*/sb.min_step());
+    if (++commits % 101 == 0) sb.check_invariants();
+  }
+  sb.check_invariants();
+  EXPECT_EQ(sb.min_step(), 8);
+  std::uint64_t shard_commits = 0;
+  for (std::int32_t s = 0; s < sb.shards(); ++s) {
+    shard_commits += sb.shard_stats(s).commits;
+  }
+  EXPECT_EQ(shard_commits, sb.stats().commits);
+  EXPECT_EQ(sb.stats().commits, commits);
 }
 
 TEST(ScoreboardIndex, GraphMetricRunsIndexedNotFallback) {

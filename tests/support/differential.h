@@ -51,6 +51,11 @@ struct DiffShape {
   int graph_nodes = 0;
   int graph_degree = 4;
   double graph_rewire = 0.1;
+  /// Region partition of the *indexed* board; the brute board always runs
+  /// unsharded, so shards > 1 differentially tests the sharded strip
+  /// structure (border sets, per-strip cluster homes, lazy min) against
+  /// the flat reference through the same executor schedule.
+  int shards = 1;
 };
 
 /// A shape pinned to one seed: the unit of repro.
@@ -62,11 +67,12 @@ struct DiffCase {
 inline std::string repro_string(const DiffCase& c) {
   return strformat(
       "metric=%s agents=%d spread=%g target=%lld radius=%g vel=%g "
-      "nodes=%d degree=%d rewire=%g seed=%llu",
+      "nodes=%d degree=%d rewire=%g shards=%d seed=%llu",
       c.shape.metric, c.shape.n_agents, c.shape.spread,
       static_cast<long long>(c.shape.target), c.shape.params.radius_p,
       c.shape.params.max_vel, c.shape.graph_nodes, c.shape.graph_degree,
-      c.shape.graph_rewire, static_cast<unsigned long long>(c.seed));
+      c.shape.graph_rewire, c.shape.shards,
+      static_cast<unsigned long long>(c.seed));
 }
 
 /// Inverse of repro_string; nullopt on any unknown key or malformed value.
@@ -100,6 +106,8 @@ inline std::optional<DiffCase> parse_repro(const std::string& text) {
         c.shape.graph_degree = std::stoi(value);
       } else if (key == "rewire") {
         c.shape.graph_rewire = std::stod(value);
+      } else if (key == "shards") {
+        c.shape.shards = std::stoi(value);
       } else if (key == "seed") {
         c.seed = std::stoull(value);
       } else {
@@ -175,9 +183,15 @@ inline void run_differential_case(const DiffCase& c) {
   }
 
   core::Scoreboard indexed(shape.params, metric, initial, shape.target,
-                           core::ScanMode::kIndexed);
+                           core::ScanMode::kIndexed, shape.shards);
   core::Scoreboard brute(shape.params, metric, initial, shape.target,
                          core::ScanMode::kBruteForce);
+  if (graph) {
+    // Graph metrics collapse the partition; the request must be harmless.
+    EXPECT_EQ(indexed.shards(), 1);
+  } else {
+    EXPECT_EQ(indexed.shards(), shape.shards);
+  }
   expect_scoreboards_equal(indexed, brute);
 
   // One executor loop drives both boards: the ready sequences are equal
@@ -227,7 +241,16 @@ inline void run_differential_case(const DiffCase& c) {
       }
       moves.emplace_back(m, pos);
     }
-    indexed.commit(moves);
+    if (shape.shards > 1 && rng.bernoulli(0.5)) {
+      // Exercise the floored-probe path the threaded engine's interior
+      // commits use (plus the boundary classifier, for crash coverage):
+      // a lower floor may only widen probes, never change state.
+      const Step floor = indexed.min_step();
+      (void)indexed.local_commit_shard(moves, floor);
+      indexed.commit(moves, floor);
+    } else {
+      indexed.commit(moves);
+    }
     brute.commit(moves);
     ++commits;
     expect_scoreboards_equal(indexed, brute);
