@@ -111,10 +111,14 @@ class Scoreboard {
   /// `shards` in [1, kMaxShards] requests a region partition; it takes
   /// effect only on the spatial-index probe path (kIndexed with a
   /// Chebyshev-bounded metric) and silently collapses to 1 otherwise —
-  /// observable behavior is identical either way.
+  /// observable behavior is identical either way. `partition` picks how
+  /// the initial strip boundaries are placed (equal-width, or at
+  /// population quantiles of the initial positions); it changes only
+  /// which commits classify as interior, never any observable result.
   Scoreboard(DependencyParams params, std::shared_ptr<const Metric> metric,
              std::vector<Pos> initial_positions, Step target_step,
-             ScanMode mode = ScanMode::kIndexed, std::int32_t shards = 1);
+             ScanMode mode = ScanMode::kIndexed, std::int32_t shards = 1,
+             world::PartitionKind partition = world::PartitionKind::kEqualWidth);
 
   // ---- Controller side ----
   /// All clusters that are ready right now (every member idle and
@@ -152,6 +156,25 @@ class Scoreboard {
   std::int32_t local_commit_shard(
       const std::vector<std::pair<AgentId, Pos>>& moves,
       Step probe_floor) const;
+
+  /// Re-slice every per-strip structure (live indexes, live-step counts,
+  /// idle clusters, ready queues, border sets) onto `new_partition`,
+  /// which must have the same strip count. Not safe to call concurrently
+  /// with anything: a caller that shares the board holds it exclusively
+  /// (the engine repartitions under its topology writer lock).
+  /// Dispatched-but-uncommitted clusters are tolerated — their running
+  /// members carry no cluster record and simply re-home with the rest of
+  /// the live set. Per-strip stats rows stay attached to their strip
+  /// index (the engine's lock/pool/stats arrays are positional). Pure
+  /// scheduling state moves; agent steps/positions/edges are untouched,
+  /// so every observable result — digests included — is identical by the
+  /// superset-then-filter argument (see "Adaptive partitioning" in
+  /// docs/ARCHITECTURE.md). No-op when the board collapsed to one strip.
+  void repartition(const world::RegionPartition& new_partition);
+
+  /// The active region partition (equal-width at construction unless
+  /// kEqualPopulation was requested; later replaced by repartition()).
+  const world::RegionPartition& partition() const { return partition_; }
 
   // ---- Introspection ----
   std::size_t agent_count() const { return agents_.size(); }

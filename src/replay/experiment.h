@@ -57,6 +57,15 @@ struct ExperimentConfig {
   /// replay can certify that a sharded board replays byte-identically to
   /// shards=1 before the threaded engine trusts the same partition.
   std::int32_t shards = 1;
+  /// Initial strip-boundary placement (equal-width or population
+  /// quantiles); replay certifies digest-invariance for the engine here
+  /// too.
+  world::PartitionKind partition = world::PartitionKind::kEqualWidth;
+  /// Trace-relative steps (sorted ascending, each > 0) at which the
+  /// scoreboard is repartitioned once min_step() clears them — the DES
+  /// mirror of EngineConfig::reshard_at, weighted by per-strip commit
+  /// counts since the previous rebalance. Empty = never.
+  std::vector<Step> reshard_at;
   bool record_gantt = false;
   /// Run O(n^2) scoreboard invariant checks after every commit (tests).
   bool validate_invariants = false;

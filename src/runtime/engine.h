@@ -95,6 +95,26 @@ struct EngineConfig {
   /// engine spawns one private pool per strip, splitting n_workers
   /// between them.
   std::vector<TaskPool*> shard_pools;
+  /// Initial strip-boundary placement, passed through to the scoreboard:
+  /// equal-width strips, or boundaries at population quantiles of the
+  /// initial agent positions. Affects only which commits classify as
+  /// interior — never any observable result.
+  world::PartitionKind partition = world::PartitionKind::kEqualWidth;
+  /// Rebalance points (sorted ascending, each > 0): engine-relative steps
+  /// — in practice the episode (midnight) boundaries between `days` —
+  /// at which the partition is re-quantiled against the per-strip
+  /// contention rows accumulated since the previous rebalance. Near a
+  /// boundary B, commits of clusters at step B-1 or later are forced onto
+  /// the cross-shard (exclusive) path; the cross commit that raises
+  /// min_step() past B then repartitions the scoreboard in place while
+  /// still holding the topology lock exclusively. Empty = never reshard.
+  std::vector<Step> reshard_at;
+  /// Pin each privately spawned per-strip pool to a contiguous CPU core
+  /// group (strip s gets cores [s*C/shards, (s+1)*C/shards)), keeping a
+  /// strip's scoreboard slice in one cache/NUMA domain. Linux only;
+  /// ignored for external pools (pin those where they are constructed)
+  /// and with shards = 1.
+  bool pin_cores = false;
 };
 
 struct EngineStats {
@@ -113,6 +133,9 @@ struct EngineStats {
   std::uint64_t commit_wait_us = 0;
   std::uint64_t commit_hold_us = 0;
   std::uint64_t max_commit_wait_us = 0;
+  /// Partition rebalances performed (config.reshard_at boundaries whose
+  /// trigger actually fired). Aggregate only; zero in the per-strip rows.
+  std::uint64_t reshards = 0;
 };
 
 class Engine {
@@ -151,10 +174,27 @@ class Engine {
   std::vector<EngineStats> shard_commit_stats() const;
 
  private:
+  /// A popped cluster plus its home strip, resolved while the popping
+  /// thread still held the topology lock — the partition may move at
+  /// reshard points, so routing must never read it unlocked.
+  struct RoutedCluster {
+    std::int32_t strip = 0;
+    core::AgentCluster cluster;
+  };
+
   void execute_cluster(core::AgentCluster cluster);
+  /// Resolve each cluster's home strip under the current partition.
+  /// Caller must hold topology_mutex_ (shared suffices: routing only
+  /// reads) — a guard TSA cannot express for either-mode holds.
+  std::vector<RoutedCluster> route_clusters(
+      std::vector<core::AgentCluster> ready);
   /// Queue released clusters on their home strips' pools (step priority).
-  void submit_clusters(std::vector<core::AgentCluster> ready);
-  TaskPool* pool_for(const core::AgentCluster& cluster);
+  void submit_clusters(std::vector<RoutedCluster> ready);
+  /// Fire the next reshard boundary if min_step() has cleared it:
+  /// re-quantile the partition against the contention deltas since the
+  /// last rebalance and repartition the scoreboard in place. Caller must
+  /// hold topology_mutex_ exclusively (the cross-shard commit path).
+  void maybe_reshard();
 
   world::WorldState* world_;
   EngineConfig config_;
@@ -181,6 +221,14 @@ class Engine {
   /// cross-shard commits (the only ones that may read every strip's
   /// live-step table). Bounds interior commits' probe radii.
   std::atomic<Step> min_floor_{0};
+  /// The next unapplied config.reshard_at boundary (max() when none
+  /// remain). Read lock-free by every commit to force the near-boundary
+  /// commits cross-shard; advanced only under topology-exclusive. Only
+  /// ever advances, so a stale read is merely conservative.
+  std::atomic<Step> next_reshard_step_;
+  /// Index into config_.reshard_at of the boundary above. Mutated and
+  /// read only under topology-exclusive (maybe_reshard).
+  std::size_t next_reshard_idx_ = 0;
 
   /// Control plane: run()/~Engine() wait here for in-flight cluster
   /// tasks to drain. Never held while acquiring topology/shard locks.
@@ -196,6 +244,9 @@ class Engine {
   EngineStats stats_ GUARDED_BY(stats_mutex_);
   /// Commit contention per strip + the cross-shard row (size shards+1).
   std::vector<EngineStats> shard_rows_ GUARDED_BY(stats_mutex_);
+  /// Snapshot of shard_rows_ at the last rebalance; maybe_reshard weighs
+  /// strips by the delta against it.
+  std::vector<EngineStats> reshard_base_ GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace aimetro::runtime

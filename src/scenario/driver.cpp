@@ -215,6 +215,29 @@ core::ScanMode scan_mode_of(const ScenarioSpec& spec) {
              : core::ScanMode::kIndexed;
 }
 
+world::PartitionKind partition_kind_of(const ScenarioSpec& spec) {
+  return spec.partition == PartitionChoice::kPopulation
+             ? world::PartitionKind::kEqualPopulation
+             : world::PartitionKind::kEqualWidth;
+}
+
+/// Trace-relative rebalance points for reshard = episode: every midnight
+/// boundary strictly inside the replay window. The trace slice renumbers
+/// steps so step 0 is window_begin; day d's boundary sits at
+/// d * steps_per_day - window_start. Empty when reshard is off or the
+/// window straddles no midnight (days = 1, or a within-day window).
+std::vector<Step> reshard_boundaries(const ScenarioSpec& spec) {
+  std::vector<Step> out;
+  if (spec.reshard != ReshardMode::kEpisode) return out;
+  const Step start = spec.window_start();
+  const Step n_steps = spec.sim_steps();
+  for (std::int32_t d = 1; d < spec.days; ++d) {
+    const Step abs = static_cast<Step>(d) * spec.steps_per_day;
+    if (abs > start && abs < start + n_steps) out.push_back(abs - start);
+  }
+  return out;
+}
+
 std::int32_t sign(std::int32_t d) { return d > 0 ? 1 : (d < 0 ? -1 : 0); }
 
 /// One 4-neighbor step from `from` toward `to` (axis with the larger gap
@@ -355,7 +378,9 @@ trace::SimulationTrace ScenarioDriver::build_trace() const {
   } else {
     const world::GridMap segment = segment_map(spec_);
     full = trace::generate_concatenated(
-        segment, segment_agent_counts(spec_.agents, spec_.segments), cfg);
+        segment,
+        segment_agent_counts(spec_.agents, spec_.segments, spec_.segment_skew),
+        cfg);
   }
   AIM_CHECK_MSG(full.n_agents == spec_.agents,
                 "segment split lost agents: " << full.n_agents << " vs "
@@ -378,6 +403,8 @@ replay::ExperimentConfig ScenarioDriver::experiment_config() const {
       llm::ParallelismConfig{spec_.tensor_parallel, spec_.data_parallel};
   cfg.scan_mode = scan_mode_of(spec_);
   cfg.shards = spec_.resolved_shards();
+  cfg.partition = partition_kind_of(spec_);
+  cfg.reshard_at = reshard_boundaries(spec_);
   return cfg;
 }
 
@@ -388,6 +415,53 @@ std::vector<std::int32_t> segment_agent_counts(std::int32_t agents,
   const std::int32_t remainder = agents % segments;
   std::vector<std::int32_t> counts(static_cast<std::size_t>(segments), base);
   for (std::int32_t k = 0; k < remainder; ++k) counts[k] += 1;
+  return counts;
+}
+
+std::vector<std::int32_t> segment_agent_counts(std::int32_t agents,
+                                               std::int32_t segments,
+                                               double skew) {
+  AIM_CHECK(skew >= 0.0 && skew < 1.0);
+  if (skew == 0.0) return segment_agent_counts(agents, segments);
+  AIM_CHECK(segments >= 1 && agents >= segments);
+  // One guaranteed agent per segment; the spare mass goes out
+  // proportionally to the geometric weights (1 - skew)^k, rounded by
+  // largest remainder (ties broken toward lower segment index) so the
+  // counts are deterministic and sum exactly to `agents`.
+  std::vector<std::int32_t> counts(static_cast<std::size_t>(segments), 1);
+  const std::int32_t spare = agents - segments;
+  if (spare == 0) return counts;
+  std::vector<double> weight(static_cast<std::size_t>(segments));
+  double total = 0.0;
+  double w = 1.0;
+  for (std::int32_t k = 0; k < segments; ++k) {
+    weight[static_cast<std::size_t>(k)] = w;
+    total += w;
+    w *= 1.0 - skew;
+  }
+  std::vector<double> frac(static_cast<std::size_t>(segments));
+  std::int32_t assigned = 0;
+  for (std::int32_t k = 0; k < segments; ++k) {
+    const double share =
+        static_cast<double>(spare) * weight[static_cast<std::size_t>(k)] /
+        total;
+    const auto whole = static_cast<std::int32_t>(share);
+    counts[static_cast<std::size_t>(k)] += whole;
+    assigned += whole;
+    frac[static_cast<std::size_t>(k)] = share - whole;
+  }
+  std::vector<std::int32_t> order(static_cast<std::size_t>(segments));
+  for (std::int32_t k = 0; k < segments; ++k) {
+    order[static_cast<std::size_t>(k)] = k;
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::int32_t a, std::int32_t b) {
+                     return frac[static_cast<std::size_t>(a)] >
+                            frac[static_cast<std::size_t>(b)];
+                   });
+  for (std::int32_t i = 0; i < spare - assigned; ++i) {
+    counts[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] += 1;
+  }
   return counts;
 }
 
@@ -567,6 +641,9 @@ ScenarioReport ScenarioDriver::run_engine_trace(bool serial_baseline) const {
     ecfg.kv_instrumentation = false;
     ecfg.metric = metric;  // null = Euclidean
     ecfg.shards = spec_.resolved_shards();
+    ecfg.partition = partition_kind_of(spec_);
+    ecfg.reshard_at = reshard_boundaries(spec_);
+    ecfg.pin_cores = spec_.pin == PinMode::kCores;
 
     // One agent's traced calls for a step, issued in chain order (calls
     // within a chain are serial by definition).

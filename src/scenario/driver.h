@@ -167,6 +167,15 @@ class ScenarioDriver {
 std::vector<std::int32_t> segment_agent_counts(std::int32_t agents,
                                                std::int32_t segments);
 
+/// The same split with a geometric hotspot skew (spec key `segment_skew`):
+/// segment k is weighted (1 - skew)^k, every segment keeps at least one
+/// agent, and the counts still sum exactly to `agents` (largest-remainder
+/// rounding, deterministic). skew = 0 reduces to the even split above.
+/// Requires agents >= segments >= 1 and skew in [0, 1).
+std::vector<std::int32_t> segment_agent_counts(std::int32_t agents,
+                                               std::int32_t segments,
+                                               double skew);
+
 /// `n` distinct walkable start tiles spread over `map` on an evenly spaced
 /// grid, each snapped to the nearest free walkable tile. Check-fails when
 /// the map cannot seat `n` agents.

@@ -166,6 +166,38 @@ ScenarioSpec metro_ville(std::int32_t n_agents) {
   return s;
 }
 
+ScenarioSpec skewed_ville(std::int32_t n_agents) {
+  ScenarioSpec s;
+  s.name = strformat("skewed_ville%d", n_agents);
+  s.description = strformat(
+      "Hotspot stress for adaptive partitioning: %d townsfolk packed "
+      "geometrically toward the west segments (segment_skew 0.3) on %d "
+      "concatenated SmallVilles, a two-day episode replayed across the "
+      "midnight boundary so episode resharding fires (N in [100, 100000])",
+      n_agents, (n_agents + 24) / 25);
+  s.map = MapKind::kSmallville;
+  s.homes = 25;
+  s.segments = (n_agents + 24) / 25;
+  // Geometric decay per segment: the west end of the concatenated world
+  // carries several times its even share, so equal-width strips leave the
+  // east strips idle while the west strip serializes commits.
+  s.segment_skew = 0.3;
+  s.agents = n_agents;
+  s.profile = "townsfolk";
+  s.calls_scale = 0.25;
+  // Two days with a 40-minute window straddling midnight (day 0 step
+  // 8520 .. day 1 step 120): reshard = episode gets exactly one boundary
+  // to rebalance at, and the digest checks cover both sides of it.
+  s.days = 2;
+  s.window_begin = 8520;
+  s.window_end = 8760;
+  s.backend = Backend::kDes;
+  s.data_parallel = 8;
+  s.partition = PartitionChoice::kPopulation;
+  s.reshard = ReshardMode::kEpisode;
+  return s;
+}
+
 ScenarioSpec social_net(std::int32_t n_agents) {
   ScenarioSpec s;
   s.name = strformat("social_net%d", n_agents);
@@ -264,7 +296,8 @@ std::vector<RegistryEntry> registry_entries() {
   for (const ScenarioSpec& s :
        {smallville_day(), social_hub(), urban_commute(), sparse_ville(),
         scaling_ville(4), mixed_ville(40), metro_ville(1000),
-        metro_ville(100000), social_net(1000), metropolis_week(),
+        metro_ville(100000), skewed_ville(10000), social_net(1000),
+        metropolis_week(),
         quickstart_arena()}) {
     out.push_back(RegistryEntry{s.name, s.description});
   }
@@ -299,6 +332,18 @@ std::optional<ScenarioSpec> find_scenario(const std::string& name,
     if (error != nullptr) {
       *error = strformat(
           "metro_ville<N> takes N in [100, 100000]; '%s' does not parse",
+          name.c_str());
+    }
+    return std::nullopt;
+  }
+  constexpr const char* kSkewedPrefix = "skewed_ville";
+  if (name.rfind(kSkewedPrefix, 0) == 0) {
+    if (const auto n = family_param(name, kSkewedPrefix, 100, 100000)) {
+      return skewed_ville(*n);
+    }
+    if (error != nullptr) {
+      *error = strformat(
+          "skewed_ville<N> takes N in [100, 100000]; '%s' does not parse",
           name.c_str());
     }
     return std::nullopt;

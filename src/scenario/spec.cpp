@@ -102,6 +102,54 @@ std::optional<ScoreboardKind> scoreboard_from_name(const std::string& name) {
   return std::nullopt;
 }
 
+const char* partition_name(PartitionChoice p) {
+  switch (p) {
+    case PartitionChoice::kWidth:
+      return "width";
+    case PartitionChoice::kPopulation:
+      return "population";
+  }
+  return "?";
+}
+
+std::optional<PartitionChoice> partition_from_name(const std::string& name) {
+  if (name == "width") return PartitionChoice::kWidth;
+  if (name == "population") return PartitionChoice::kPopulation;
+  return std::nullopt;
+}
+
+const char* reshard_name(ReshardMode r) {
+  switch (r) {
+    case ReshardMode::kOff:
+      return "off";
+    case ReshardMode::kEpisode:
+      return "episode";
+  }
+  return "?";
+}
+
+std::optional<ReshardMode> reshard_from_name(const std::string& name) {
+  if (name == "off") return ReshardMode::kOff;
+  if (name == "episode") return ReshardMode::kEpisode;
+  return std::nullopt;
+}
+
+const char* pin_name(PinMode p) {
+  switch (p) {
+    case PinMode::kNone:
+      return "none";
+    case PinMode::kCores:
+      return "cores";
+  }
+  return "?";
+}
+
+std::optional<PinMode> pin_from_name(const std::string& name) {
+  if (name == "none") return PinMode::kNone;
+  if (name == "cores") return PinMode::kCores;
+  return std::nullopt;
+}
+
 namespace {
 
 // ---- Typed conversion layer (std::from_chars based) ----
@@ -174,6 +222,27 @@ bool conv(const std::string& v, ScoreboardKind* out) {
   return true;
 }
 
+bool conv(const std::string& v, PartitionChoice* out) {
+  const auto p = partition_from_name(v);
+  if (!p) return false;
+  *out = *p;
+  return true;
+}
+
+bool conv(const std::string& v, ReshardMode* out) {
+  const auto r = reshard_from_name(v);
+  if (!r) return false;
+  *out = *r;
+  return true;
+}
+
+bool conv(const std::string& v, PinMode* out) {
+  const auto p = pin_from_name(v);
+  if (!p) return false;
+  *out = *p;
+  return true;
+}
+
 // ---- Rendering (for to_text round trips) ----
 
 std::string render(const std::string& v) { return v; }
@@ -185,6 +254,9 @@ std::string render(MapKind v) { return map_kind_name(v); }
 std::string render(WorldKind v) { return world_name(v); }
 std::string render(ClockKind v) { return clock_name(v); }
 std::string render(ScoreboardKind v) { return scoreboard_name(v); }
+std::string render(PartitionChoice v) { return partition_name(v); }
+std::string render(ReshardMode v) { return reshard_name(v); }
+std::string render(PinMode v) { return pin_name(v); }
 std::string render(double v) {
   // Shortest representation that from_chars converts back exactly.
   char buf[64];
@@ -221,6 +293,7 @@ const std::vector<Field>& fields() {
       AIM_SPEC_FIELD("homes", homes),
       AIM_SPEC_FIELD("districts", districts),
       AIM_SPEC_FIELD("segments", segments),
+      AIM_SPEC_FIELD("segment_skew", segment_skew),
       AIM_SPEC_FIELD("agents", agents),
       AIM_SPEC_FIELD("profile", profile),
       AIM_SPEC_FIELD("population", population),
@@ -247,6 +320,9 @@ const std::vector<Field>& fields() {
             [](const ScenarioSpec& s) {
               return s.shards == 0 ? std::string("auto") : render(s.shards);
             }},
+      AIM_SPEC_FIELD("partition", partition),
+      AIM_SPEC_FIELD("reshard", reshard),
+      AIM_SPEC_FIELD("pin", pin),
       AIM_SPEC_FIELD("model", model),
       AIM_SPEC_FIELD("gpu", gpu),
       AIM_SPEC_FIELD("tensor_parallel", tensor_parallel),
@@ -421,6 +497,9 @@ std::string validate_spec(const ScenarioSpec& spec) {
   }
   if (spec.shards < 0 || spec.shards > 64) {
     return "shards must be auto or in [1, 64]";
+  }
+  if (spec.segment_skew < 0.0 || spec.segment_skew >= 1.0) {
+    return "segment_skew must be in [0, 1)";
   }
   if (spec.time_scale <= 0.0) return "time_scale must be > 0";
   if (spec.call_latency_us < 0) return "call_latency_us must be >= 0";

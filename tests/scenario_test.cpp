@@ -422,6 +422,28 @@ TEST(Registry, MetroVilleIsParameterizedToOneHundredThousand) {
   EXPECT_FALSE(find_scenario("metro_villeXXL", &error).has_value());
 }
 
+TEST(Registry, SkewedVilleIsAHotspotReshardEpisode) {
+  std::string error;
+  const auto s1k = find_scenario("skewed_ville1000", &error);
+  ASSERT_TRUE(s1k.has_value()) << error;
+  EXPECT_EQ(s1k->agents, 1000);
+  EXPECT_EQ(s1k->segments, 40);
+  EXPECT_DOUBLE_EQ(s1k->segment_skew, 0.3);
+  EXPECT_EQ(s1k->partition, PartitionChoice::kPopulation);
+  EXPECT_EQ(s1k->reshard, ReshardMode::kEpisode);
+  EXPECT_EQ(validate_spec(*s1k), "");
+  // The replay window must straddle the day-0/day-1 midnight so the
+  // episode reshard has a boundary to fire at.
+  EXPECT_EQ(s1k->days, 2);
+  EXPECT_LT(s1k->window_begin, s1k->steps_per_day);
+  EXPECT_GT(s1k->window_end, s1k->steps_per_day);
+  EXPECT_LE(s1k->window_end, s1k->episode_steps());
+
+  EXPECT_FALSE(find_scenario("skewed_ville99", &error).has_value());
+  EXPECT_FALSE(find_scenario("skewed_ville100001", &error).has_value());
+  EXPECT_FALSE(find_scenario("skewed_villeXL", &error).has_value());
+}
+
 TEST(Registry, MetropolisWeekIsAMultiDayMixedEpisode) {
   std::string error;
   const auto week = find_scenario("metropolis_week", &error);
@@ -937,6 +959,52 @@ TEST(ScanModes, ShardedAndUnshardedDigestsAgreeOnEveryRegistryScenario) {
   }
 }
 
+TEST(ScanModes, EpisodeReshardKeepsDigestsAcrossTheMidnightBoundary) {
+  // The adaptive-partitioning guarantee end to end: a hotspot scenario
+  // replayed across its day-0/day-1 midnight — where reshard = episode
+  // moves the strip boundaries mid-run — must reach the same final state
+  // as the unsharded board, the static equal-width partition, and the
+  // pinned-pool configuration, on both backends.
+  std::string error;
+  auto spec = find_scenario("skewed_ville100", &error);
+  ASSERT_TRUE(spec.has_value()) << error;
+  spec->window_begin = 8630;  // straddles midnight at step 8640
+  spec->window_end = 8652;
+  spec->call_latency_us = 0;
+  ASSERT_EQ(validate_spec(*spec), "");
+
+  struct Variant {
+    std::int32_t shards;
+    PartitionChoice partition;
+    ReshardMode reshard;
+    PinMode pin;
+  };
+  const Variant variants[] = {
+      {1, PartitionChoice::kWidth, ReshardMode::kOff, PinMode::kNone},
+      {4, PartitionChoice::kWidth, ReshardMode::kOff, PinMode::kNone},
+      {4, PartitionChoice::kPopulation, ReshardMode::kEpisode, PinMode::kNone},
+      {4, PartitionChoice::kWidth, ReshardMode::kEpisode, PinMode::kCores},
+  };
+  for (Backend backend : {Backend::kDes, Backend::kEngine}) {
+    spec->backend = backend;
+    std::uint64_t reference = 0;
+    for (std::size_t v = 0; v < std::size(variants); ++v) {
+      spec->shards = variants[v].shards;
+      spec->partition = variants[v].partition;
+      spec->reshard = variants[v].reshard;
+      spec->pin = variants[v].pin;
+      const auto report = ScenarioDriver(*spec).run(/*serial_baseline=*/false);
+      if (v == 0) {
+        reference = report.scoreboard_digest;
+      } else {
+        EXPECT_EQ(report.scoreboard_digest, reference)
+            << "variant " << v << " on " << backend_name(backend);
+      }
+      EXPECT_EQ(report.days, 2);
+    }
+  }
+}
+
 TEST(ScanModes, GymReportCarriesDependencySparsity) {
   // The arena/gym path reports mean blockers and mean cluster size from
   // the OOO engine's scoreboard, like the trace paths do.
@@ -965,6 +1033,31 @@ TEST(SegmentSplit, DistributesTheRemainderAcrossSegments) {
   for (auto c : segment_agent_counts(103, 7)) total += c;
   EXPECT_EQ(total, 103);
   EXPECT_THROW(segment_agent_counts(3, 4), CheckError);
+}
+
+TEST(SegmentSplit, GeometricSkewPilesAgentsOnTheFirstSegments) {
+  // skew = 0 reduces to the even split exactly.
+  EXPECT_EQ(segment_agent_counts(25, 4, 0.0), segment_agent_counts(25, 4));
+  // A skewed split still sums exactly, keeps every segment populated,
+  // and is non-increasing (geometric weights are).
+  const auto counts = segment_agent_counts(1000, 40, 0.3);
+  ASSERT_EQ(counts.size(), 40u);
+  std::int32_t total = 0;
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    total += counts[k];
+    EXPECT_GE(counts[k], 1) << "segment " << k;
+    if (k > 0) EXPECT_LE(counts[k], counts[k - 1]) << "segment " << k;
+  }
+  EXPECT_EQ(total, 1000);
+  // The hotspot is real: the first segment carries several times the
+  // even share of 25.
+  EXPECT_GE(counts[0], 100);
+  // Degenerate shapes: one segment takes everything; agents == segments
+  // leaves exactly one each regardless of skew.
+  EXPECT_EQ(segment_agent_counts(7, 1, 0.5),
+            (std::vector<std::int32_t>{7}));
+  EXPECT_EQ(segment_agent_counts(5, 5, 0.9),
+            (std::vector<std::int32_t>{1, 1, 1, 1, 1}));
 }
 
 TEST(SegmentSplit, TraceAndReportCarryEveryRequestedAgent) {

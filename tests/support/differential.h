@@ -34,6 +34,7 @@
 #include "common/strings.h"
 #include "core/metric.h"
 #include "core/scoreboard.h"
+#include "world/region_partition.h"
 #include "world/social_graph.h"
 
 namespace aimetro::test_support {
@@ -56,6 +57,13 @@ struct DiffShape {
   /// structure (border sets, per-strip cluster homes, lazy min) against
   /// the flat reference through the same executor schedule.
   int shards = 1;
+  /// Repartition period in commits (0 = never): every `reshard` commits
+  /// the indexed board is re-sliced to population quantiles of the live
+  /// positions *mid-run*, with clusters dispatched and lag spreads built
+  /// up — the adversarial version of the engine's quiescent episode
+  /// reshard. State must stay equal to the never-resharded brute board
+  /// after every boundary move. Ignored when shards <= 1.
+  int reshard = 0;
 };
 
 /// A shape pinned to one seed: the unit of repro.
@@ -67,11 +75,11 @@ struct DiffCase {
 inline std::string repro_string(const DiffCase& c) {
   return strformat(
       "metric=%s agents=%d spread=%g target=%lld radius=%g vel=%g "
-      "nodes=%d degree=%d rewire=%g shards=%d seed=%llu",
+      "nodes=%d degree=%d rewire=%g shards=%d reshard=%d seed=%llu",
       c.shape.metric, c.shape.n_agents, c.shape.spread,
       static_cast<long long>(c.shape.target), c.shape.params.radius_p,
       c.shape.params.max_vel, c.shape.graph_nodes, c.shape.graph_degree,
-      c.shape.graph_rewire, c.shape.shards,
+      c.shape.graph_rewire, c.shape.shards, c.shape.reshard,
       static_cast<unsigned long long>(c.seed));
 }
 
@@ -108,6 +116,8 @@ inline std::optional<DiffCase> parse_repro(const std::string& text) {
         c.shape.graph_rewire = std::stod(value);
       } else if (key == "shards") {
         c.shape.shards = std::stoi(value);
+      } else if (key == "reshard") {
+        c.shape.reshard = std::stoi(value);
       } else if (key == "seed") {
         c.seed = std::stoull(value);
       } else {
@@ -253,6 +263,21 @@ inline void run_differential_case(const DiffCase& c) {
     }
     brute.commit(moves);
     ++commits;
+    if (shape.reshard > 0 && indexed.shards() > 1 &&
+        commits % static_cast<std::uint64_t>(shape.reshard) == 0) {
+      // Mid-run strip-boundary move, with clusters still in flight: the
+      // indexed board alone is re-sliced to population quantiles of the
+      // current positions, and must remain indistinguishable from the
+      // never-resharded reference.
+      std::vector<double> xs;
+      xs.reserve(indexed.agent_count());
+      for (std::size_t i = 0; i < indexed.agent_count(); ++i) {
+        xs.push_back(indexed.pos_of(static_cast<AgentId>(i)).x);
+      }
+      indexed.repartition(world::RegionPartition::equal_population(
+          indexed.shards(), std::move(xs)));
+      indexed.check_invariants();
+    }
     expect_scoreboards_equal(indexed, brute);
     if (commits % 11 == 0) {
       indexed.check_invariants();
